@@ -1,0 +1,329 @@
+package repro_test
+
+// The benchmarks in this file regenerate every experiment of the
+// reproduction (see DESIGN.md §3 and EXPERIMENTS.md) and time the individual
+// engines the experiments are built from.  Run them with
+//
+//	go test -bench=. -benchmem
+//
+// The experiment identifiers (E1..E9) match DESIGN.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/mc"
+	"repro/internal/paperfig"
+	"repro/internal/ring"
+)
+
+// ---------------------------------------------------------------------------
+// E1..E9: one benchmark per experiment table.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig31Correspondence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig31(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig41Counting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig41(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig51BuildM2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig51(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingInvariantsAndProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RingChecks(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrespondenceCutoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CorrespondenceCutoff(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendixLocalCheck1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LocalRefutation([]int{1000}, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateExplosionTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StateExplosion(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Minimization(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNestingConjecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NestingConjecture(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 in detail: the state-explosion series (direct model checking of M_r)
+// versus the parameterized route, per ring size.
+// ---------------------------------------------------------------------------
+
+func BenchmarkStateExplosionDirect(b *testing.B) {
+	for _, r := range []int{2, 4, 6, 8, 10, 12} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			inst, err := ring.Build(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			props := ring.Properties()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				checker := mc.New(inst.M)
+				for _, p := range props {
+					holds, err := checker.Holds(p.Formula)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !holds {
+						b.Fatalf("property %s unexpectedly fails on M_%d", p.Name, r)
+					}
+				}
+			}
+			b.ReportMetric(float64(inst.M.NumStates()), "states")
+		})
+	}
+}
+
+func BenchmarkStateExplosionBuild(b *testing.B) {
+	for _, r := range []int{4, 8, 12} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ring.Build(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParameterizedRoute(b *testing.B) {
+	// The cost that does not grow with the ring size: model check the cutoff
+	// instance and validate the Appendix-style local checks at a huge ring.
+	cutoff, err := ring.Build(ring.CutoffSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	props := ring.Properties()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker := mc.New(cutoff.M)
+		for _, p := range props {
+			if _, err := checker.Holds(p.Formula); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCorrespondenceM3ToMr(b *testing.B) {
+	small, err := ring.Build(ring.CutoffSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
+	for _, r := range []int{4, 6, 8} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			large, err := ring.Build(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := ring.CutoffIndexRelation(ring.CutoffSize, r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := bisim.IndexedCompute(small.M, large.M, in, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Corresponds() {
+					b.Fatal("cutoff correspondence unexpectedly fails")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks (ablation-style measurements of the design
+// choices called out in DESIGN.md).
+// ---------------------------------------------------------------------------
+
+func BenchmarkCTLLabelling(b *testing.B) {
+	inst, err := ring.Build(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	formula := logic.MustParse("forall i . AG(d[i] -> AF c[i])")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker := mc.New(inst.M)
+		if _, err := checker.Holds(formula); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCTLStarTableau(b *testing.B) {
+	inst, err := ring.Build(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A genuine CTL* formula (not CTL-shaped): along some path process 1 is
+	// delayed infinitely often and critical infinitely often.
+	formula := logic.MustParse("E ((G (F d[1])) & (G (F c[1])))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker := mc.New(inst.M)
+		if _, err := checker.Holds(formula); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaximalCorrespondence(b *testing.B) {
+	left, right, err := paperfig.Fig31()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bisim.Compute(left, right, bisim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelationCheck(b *testing.B) {
+	small, err := ring.Build(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	large, err := ring.Build(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := ring.BuildRelation(ring.CorrectedRelation, small, large, 1, 1)
+	redSmall := small.M.ReduceNormalized(1)
+	redLarge := large.M.ReduceNormalized(1)
+	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.Check(redSmall, redLarge, rel, opts)
+	}
+}
+
+func BenchmarkLocalCheckerPerState(b *testing.B) {
+	small, err := ring.Build(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []int{100, 1000} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			lc, err := ring.NewLocalChecker(CorrectedOrPaper(), small, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			state := ring.NewGlobalState(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lc.CheckState(state, 1, 1)
+			}
+		})
+	}
+}
+
+// CorrectedOrPaper exists so the benchmark reads naturally; the corrected
+// variant is the interesting one to time (same complexity as the paper's).
+func CorrectedOrPaper() ring.RelationVariant { return ring.CorrectedRelation }
+
+func BenchmarkFormulaParse(b *testing.B) {
+	const text = "!(exists i . EF(!d[i] & !t[i] & E[!d[i] U t[i]]))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := logic.Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstantiate(b *testing.B) {
+	f := logic.MustParse("forall i . AG(d[i] -> AF c[i])")
+	indices := make([]int, 50)
+	for i := range indices {
+		indices[i] = i + 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := logic.Instantiate(f, indices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingSuccessors(b *testing.B) {
+	state := ring.NewGlobalState(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		state.Successors()
+	}
+}
+
+func BenchmarkMinimizeStutteredStructure(b *testing.B) {
+	left, right, err := paperfig.Fig31()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = left
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bisim.Minimize(right, bisim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

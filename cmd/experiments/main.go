@@ -1,0 +1,45 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (the data recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # print all tables as plain text
+//	experiments -markdown  # print all tables as markdown (EXPERIMENTS.md form)
+//	experiments -only E6   # run a single experiment by identifier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "render the tables as markdown")
+	only := flag.String("only", "", "run only the experiment with this identifier (e.g. E1, E6, E7)")
+	flag.Parse()
+
+	tables, err := experiments.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	printed := 0
+	for _, tbl := range tables {
+		if *only != "" && tbl.ID != *only {
+			continue
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Text())
+		}
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment named %q\n", *only)
+		os.Exit(2)
+	}
+}

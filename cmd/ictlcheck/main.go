@@ -1,0 +1,143 @@
+// Command ictlcheck model checks CTL*/ICTL* formulas against a Kripke
+// structure given in the library's text format (see internal/kripke).
+//
+// Usage:
+//
+//	ictlcheck -model structure.km -formula "forall i . AG(d[i] -> AF c[i])"
+//	ictlcheck -model structure.km -formulas specs.txt      # one formula per line
+//	ictlcheck -model structure.km -formula "AG p" -witness # print a witness/counterexample
+//
+// The exit status is 0 when every formula holds, 1 when at least one fails,
+// and 2 on usage or input errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/kripke"
+	"repro/internal/logic"
+	"repro/internal/mc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	modelPath := flag.String("model", "", "path to the Kripke structure in text format (required)")
+	formulaText := flag.String("formula", "", "a single formula to check")
+	formulasPath := flag.String("formulas", "", "path to a file with one formula per line ('#' comments allowed)")
+	witness := flag.Bool("witness", false, "print a witness or counterexample for CTL-shaped formulas")
+	checkRestricted := flag.Bool("restricted", false, "also report whether each formula lies in restricted ICTL*")
+	makeTotal := flag.Bool("make-total", false, "add self loops to deadlock states before checking")
+	flag.Parse()
+
+	if *modelPath == "" || (*formulaText == "" && *formulasPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: ictlcheck -model FILE (-formula F | -formulas FILE) [-witness] [-restricted]")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ictlcheck:", err)
+		return 2
+	}
+	defer f.Close()
+	m, err := kripke.DecodeText(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ictlcheck:", err)
+		return 2
+	}
+	if *makeTotal {
+		m = m.MakeTotal()
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ictlcheck: warning:", err)
+	}
+	fmt.Println(m.ComputeStats())
+
+	var formulas []string
+	if *formulaText != "" {
+		formulas = append(formulas, *formulaText)
+	}
+	if *formulasPath != "" {
+		fromFile, err := readFormulas(*formulasPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ictlcheck:", err)
+			return 2
+		}
+		formulas = append(formulas, fromFile...)
+	}
+
+	checker := mc.New(m)
+	allHold := true
+	for _, text := range formulas {
+		formula, err := logic.Parse(text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ictlcheck: %q: %v\n", text, err)
+			return 2
+		}
+		holds, err := checker.Holds(formula)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ictlcheck: %q: %v\n", text, err)
+			return 2
+		}
+		status := "holds"
+		if !holds {
+			status = "FAILS"
+			allHold = false
+		}
+		fmt.Printf("%-6s  %s\n", status, text)
+		if *checkRestricted {
+			if violations := logic.CheckRestricted(formula); len(violations) == 0 {
+				fmt.Println("        in restricted ICTL* (transferable by the correspondence theorem)")
+			} else {
+				for _, v := range violations {
+					fmt.Println("        outside restricted ICTL*:", v.Error())
+				}
+			}
+		}
+		if *witness {
+			printDiagnostic(checker, m, formula, holds)
+		}
+	}
+	if allHold {
+		return 0
+	}
+	return 1
+}
+
+func printDiagnostic(checker *mc.Checker, m *kripke.Structure, formula logic.Formula, holds bool) {
+	if holds {
+		if trace, err := checker.Witness(formula, m.Initial()); err == nil {
+			fmt.Println("        witness:", trace.Format(m))
+		}
+		return
+	}
+	if trace, err := checker.Counterexample(formula, m.Initial()); err == nil {
+		fmt.Println("        counterexample:", trace.Format(m))
+	}
+}
+
+func readFormulas(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, scanner.Err()
+}

@@ -1,0 +1,180 @@
+// Command ringverify runs the paper's Section 5 verification for the
+// token-ring mutual exclusion protocol at a chosen ring size, and optionally
+// reproduces the correspondence analysis against the cutoff instance and the
+// local refutation of the Appendix relation at very large rings.
+//
+// Usage:
+//
+//	ringverify -r 5                 # build M_5, check invariants + properties
+//	ringverify -r 6 -correspond     # also decide the correspondence with M_3 (and M_2)
+//	ringverify -r 1000 -local 50    # local clause checking only (no state graph)
+//	ringverify -r 4 -buggy          # show the counterexample on the broken variant
+//
+// Exit status 0 when every checked property holds, 1 otherwise, 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bisim"
+	"repro/internal/logic"
+	"repro/internal/mc"
+	"repro/internal/ring"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	r := flag.Int("r", 4, "number of processes in the ring")
+	correspond := flag.Bool("correspond", false, "decide the indexed correspondence with the cutoff instance M_3 and with M_2")
+	local := flag.Int("local", 0, "if > 0, skip building M_r and locally check the Appendix relation at this many sampled states")
+	buggy := flag.Bool("buggy", false, "verify the deliberately broken protocol variant instead (shows a counterexample)")
+	seed := flag.Int64("seed", 1, "random seed for local sampling")
+	flag.Parse()
+
+	if *local > 0 {
+		return runLocal(*r, *local, *seed)
+	}
+
+	inst, err := buildInstance(*r, *buggy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringverify:", err)
+		return 2
+	}
+	fmt.Println(inst.M.ComputeStats())
+	if err := inst.CheckPartitionInvariant(); err != nil {
+		fmt.Println("partition invariant:", err)
+	} else {
+		fmt.Println("partition invariant: holds (structural check)")
+	}
+
+	checker := mc.New(inst.M)
+	allHold := true
+	for _, nf := range append(ring.Invariants(), ring.Properties()...) {
+		holds, err := checker.Holds(nf.Formula)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ringverify:", err)
+			return 2
+		}
+		status := "holds"
+		if !holds {
+			status = "FAILS"
+			allHold = false
+		}
+		fmt.Printf("  %-6s %-28s %s\n", status, nf.Name, nf.Formula)
+		if !holds {
+			if cx, err := checker.Counterexample(counterexampleShape(nf.Formula, inst), inst.M.Initial()); err == nil {
+				fmt.Println("         counterexample:", cx.Format(inst.M))
+			}
+		}
+	}
+
+	if *correspond {
+		fmt.Println()
+		runCorrespondence(inst)
+	}
+	if allHold {
+		return 0
+	}
+	return 1
+}
+
+func buildInstance(r int, buggy bool) (*ring.Instance, error) {
+	if buggy {
+		return ring.BuildBuggy(r)
+	}
+	return ring.Build(r)
+}
+
+// counterexampleShape instantiates the indexed quantifiers so the
+// counterexample machinery (which handles A-rooted CTL) can be applied.
+func counterexampleShape(f logic.Formula, inst *ring.Instance) logic.Formula {
+	instantiated, err := logic.Instantiate(f, inst.M.IndexValues())
+	if err != nil {
+		return f
+	}
+	return instantiated
+}
+
+func runCorrespondence(inst *ring.Instance) {
+	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
+	for _, small := range []int{2, ring.CutoffSize} {
+		if small > inst.R {
+			continue
+		}
+		smallInst, err := ring.Build(small)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ringverify:", err)
+			return
+		}
+		var in []bisim.IndexPair
+		if small == 2 {
+			in = ring.IndexRelation(small, inst.R)
+		} else {
+			in = ring.CutoffIndexRelation(small, inst.R)
+		}
+		res, err := bisim.IndexedCompute(smallInst.M, inst.M, in, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ringverify:", err)
+			return
+		}
+		verdict := "DO NOT indexed-correspond"
+		if res.Corresponds() {
+			verdict = "indexed-correspond (Theorem 5 transfers restricted ICTL*)"
+		}
+		fmt.Printf("M_%d and M_%d %s\n", small, inst.R, verdict)
+	}
+	chi := ring.DistinguishingFormula()
+	holds, err := mc.New(inst.M).Holds(chi)
+	if err == nil {
+		fmt.Printf("distinguishing formula %s\n  holds on M_%d: %v (it is false on M_2)\n", chi, inst.R, holds)
+	}
+}
+
+func runLocal(r, samples int, seed int64) int {
+	small, err := ring.Build(2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringverify:", err)
+		return 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	next := func(n int) int { return rng.Intn(n) }
+	fmt.Printf("local clause checking of the Section 5 relation against a %d-process ring (state graph never built)\n", r)
+	violationsFound := false
+	for _, variant := range []ring.RelationVariant{ring.PaperRelation, ring.CorrectedRelation} {
+		lc, err := ring.NewLocalChecker(variant, small, r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ringverify:", err)
+			return 2
+		}
+		count := 0
+		var first *ring.LocalViolation
+		for i := 0; i < samples; i++ {
+			g := ring.RandomReachableState(r, next)
+			for _, pair := range []bisim.IndexPair{{I: 1, I2: 1}, {I: 2, I2: 2 + next(r-1)}} {
+				vs := lc.CheckState(g, pair.I, pair.I2)
+				count += len(vs)
+				if len(vs) > 0 && first == nil {
+					v := vs[0]
+					first = &v
+				}
+			}
+		}
+		fmt.Printf("  %-9s relation: %d violations over %d sampled states\n", variant, count, samples)
+		if first != nil {
+			fmt.Println("    e.g.", first.Error())
+			violationsFound = true
+		}
+	}
+	if violationsFound {
+		fmt.Println("=> the Appendix relation is not a correspondence at this ring size either;")
+		fmt.Println("   use the three-process cutoff result instead (see EXPERIMENTS.md, E6).")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,9 @@
+// Package repro is a reproduction of Browne, Clarke and Grumberg,
+// "Reasoning about Networks with Many Identical Finite State Processes"
+// (PODC 1986; Information and Computation 81, 1989).
+//
+// The implementation lives under internal/ (see DESIGN.md for the map), the
+// runnable examples under examples/, the command line tools under cmd/, and
+// the benchmark harness that regenerates every figure and table of the paper
+// in bench_test.go and internal/experiments.
+package repro

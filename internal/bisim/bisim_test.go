@@ -1,0 +1,681 @@
+package bisim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kripke"
+	"repro/internal/logic"
+	"repro/internal/mc"
+)
+
+// twoStateCycle builds a{a} -> b{b} -> a.
+func twoStateCycle(t *testing.T) *kripke.Structure {
+	t.Helper()
+	b := kripke.NewBuilder("cycle2")
+	s0 := b.AddState(kripke.P("a"))
+	s1 := b.AddState(kripke.P("b"))
+	must(t, b.AddTransition(s0, s1))
+	must(t, b.AddTransition(s1, s0))
+	must(t, b.SetInitial(s0))
+	return build(t, b)
+}
+
+// stutteredCycle builds a cycle with extra stuttering 'a' states before the
+// 'b' state: a -> a -> ... -> a -> b -> (back to the first a).
+func stutteredCycle(t *testing.T, stutter int) *kripke.Structure {
+	t.Helper()
+	b := kripke.NewBuilder("stuttered")
+	states := make([]kripke.State, 0, stutter+2)
+	for i := 0; i <= stutter; i++ {
+		states = append(states, b.AddState(kripke.P("a")))
+	}
+	bState := b.AddState(kripke.P("b"))
+	for i := 0; i < len(states)-1; i++ {
+		must(t, b.AddTransition(states[i], states[i+1]))
+	}
+	must(t, b.AddTransition(states[len(states)-1], bState))
+	must(t, b.AddTransition(bState, states[0]))
+	must(t, b.SetInitial(states[0]))
+	return build(t, b)
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func build(t *testing.T, b *kripke.Builder) *kripke.Structure {
+	t.Helper()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(3, 2)
+	if r.Size() != 0 {
+		t.Error("new relation should be empty")
+	}
+	r.Set(0, 1, 2)
+	r.Set(2, 0, 0)
+	if r.Size() != 2 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if d, ok := r.Degree(0, 1); !ok || d != 2 {
+		t.Errorf("Degree(0,1) = %d,%v", d, ok)
+	}
+	if _, ok := r.Degree(1, 1); ok {
+		t.Error("Degree of absent pair should report absence")
+	}
+	if !r.Contains(2, 0) || r.Contains(0, 0) {
+		t.Error("Contains wrong")
+	}
+	if got := r.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree = %d", got)
+	}
+	if got := r.RelatedLeft(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("RelatedLeft = %v", got)
+	}
+	if got := r.RelatedRight(0); len(got) != 1 || got[0] != 2 {
+		t.Errorf("RelatedRight = %v", got)
+	}
+	r.Remove(0, 1)
+	if r.Contains(0, 1) {
+		t.Error("Remove failed")
+	}
+	if n, n2 := r.Dims(); n != 3 || n2 != 2 {
+		t.Errorf("Dims = %d,%d", n, n2)
+	}
+	if got := len(r.Pairs()); got != 1 {
+		t.Errorf("Pairs = %d", got)
+	}
+}
+
+func TestRelationJSONRoundTrip(t *testing.T) {
+	r := NewRelation(2, 3)
+	r.Set(0, 0, 0)
+	r.Set(1, 2, 4)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	decoded, err := UnmarshalRelationJSON(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if decoded.Size() != 2 {
+		t.Errorf("decoded size = %d", decoded.Size())
+	}
+	if d, ok := decoded.Degree(1, 2); !ok || d != 4 {
+		t.Errorf("decoded degree = %d,%v", d, ok)
+	}
+	if _, err := UnmarshalRelationJSON([]byte("{")); err == nil {
+		t.Error("invalid JSON should fail")
+	}
+	if _, err := UnmarshalRelationJSON([]byte(`{"n":0,"n2":1,"pairs":[]}`)); err == nil {
+		t.Error("invalid dimensions should fail")
+	}
+	if _, err := UnmarshalRelationJSON([]byte(`{"n":1,"n2":1,"pairs":[{"s":5,"t":0,"degree":0}]}`)); err == nil {
+		t.Error("out-of-range pair should fail")
+	}
+	if _, err := UnmarshalRelationJSON([]byte(`{"n":1,"n2":1,"pairs":[{"s":0,"t":0,"degree":-1}]}`)); err == nil {
+		t.Error("negative degree should fail")
+	}
+}
+
+func TestStutterInsensitiveCorrespondence(t *testing.T) {
+	base := twoStateCycle(t)
+	for stutter := 0; stutter <= 3; stutter++ {
+		other := stutteredCycle(t, stutter)
+		res, err := Compute(base, other, Options{})
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		if !res.Corresponds() {
+			t.Fatalf("cycle and %d-stuttered cycle should correspond", stutter)
+		}
+		// The initial pair needs exactly `stutter` stuttering steps before an
+		// exact match, so its minimal degree is `stutter`.
+		if d, ok := res.Relation.Degree(base.Initial(), other.Initial()); !ok || d != stutter {
+			t.Errorf("initial degree = %d (ok=%v), want %d", d, ok, stutter)
+		}
+		// The computed maximal correspondence must satisfy the definitional
+		// check as well.
+		if violations := Check(base, other, res.Relation, Options{}); len(violations) != 0 {
+			t.Errorf("maximal correspondence fails its own check: %v", violations)
+		}
+	}
+}
+
+func TestFig31StyleDegrees(t *testing.T) {
+	// Right structure from the figure: two stuttering 'a' states leading into
+	// the two-state cycle.  s1 (left, state 0) matches s1'' (right, state 2)
+	// exactly; s1' (right, state 0) corresponds to s1 with degree 2.
+	left := twoStateCycle(t)
+	right := stutteredCycle(t, 2)
+	res, err := Compute(left, right, Options{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if d, ok := res.Relation.Degree(0, 2); !ok || d != 0 {
+		t.Errorf("s1/s1'' degree = %d (ok=%v), want 0", d, ok)
+	}
+	if d, ok := res.Relation.Degree(0, 0); !ok || d != 2 {
+		t.Errorf("s1/s1' degree = %d (ok=%v), want 2", d, ok)
+	}
+	if d, ok := res.Relation.Degree(0, 1); !ok || d != 1 {
+		t.Errorf("s1/mid degree = %d (ok=%v), want 1", d, ok)
+	}
+	if d, ok := res.Relation.Degree(1, 3); !ok || d != 0 {
+		t.Errorf("s2/s2'' degree = %d (ok=%v), want 0", d, ok)
+	}
+}
+
+func TestDifferentLabelsDoNotCorrespond(t *testing.T) {
+	b := kripke.NewBuilder("other")
+	s0 := b.AddState(kripke.P("z"))
+	must(t, b.AddTransition(s0, s0))
+	must(t, b.SetInitial(s0))
+	other := build(t, b)
+	res, err := Compute(twoStateCycle(t), other, Options{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if res.Corresponds() {
+		t.Error("structures with disjoint labels must not correspond")
+	}
+	if res.Relation.Size() != 0 {
+		t.Error("no pairs should survive")
+	}
+}
+
+func TestDivergenceIsDistinguished(t *testing.T) {
+	// Left: an 'a' state that can only loop forever.
+	b := kripke.NewBuilder("diverge")
+	s0 := b.AddState(kripke.P("a"))
+	must(t, b.AddTransition(s0, s0))
+	must(t, b.SetInitial(s0))
+	diverging := build(t, b)
+
+	// Right: an 'a' state that may loop but may also move on to 'b'.
+	b2 := kripke.NewBuilder("progress")
+	t0 := b2.AddState(kripke.P("a"))
+	t1 := b2.AddState(kripke.P("b"))
+	must(t, b2.AddTransition(t0, t0))
+	must(t, b2.AddTransition(t0, t1))
+	must(t, b2.AddTransition(t1, t1))
+	must(t, b2.SetInitial(t0))
+	progressing := build(t, b2)
+
+	res, err := Compute(diverging, progressing, Options{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if res.Corresponds() {
+		t.Error("a structure that can reach b must not correspond to one that cannot (EF b differs)")
+	}
+
+	// Sanity: the distinguishing CTL* formula really differs.
+	f := logic.MustParse("EF b")
+	holdsLeft, err := mc.New(diverging).Holds(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdsRight, err := mc.New(progressing).Holds(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holdsLeft == holdsRight {
+		t.Error("test is vacuous: EF b should distinguish the structures")
+	}
+}
+
+func TestFiniteStutterVersusPureDivergence(t *testing.T) {
+	// Left: a -> a -> b -> b(loop): the 'a' block is finite.
+	b := kripke.NewBuilder("finite-stutter")
+	a1 := b.AddState(kripke.P("a"))
+	a2 := b.AddState(kripke.P("a"))
+	bb := b.AddState(kripke.P("b"))
+	must(t, b.AddTransition(a1, a2))
+	must(t, b.AddTransition(a2, bb))
+	must(t, b.AddTransition(bb, bb))
+	must(t, b.SetInitial(a1))
+	finite := build(t, b)
+
+	// Right: a(loop) -> b(loop): the path may stutter in 'a' forever.
+	b2 := kripke.NewBuilder("divergent-stutter")
+	da := b2.AddState(kripke.P("a"))
+	db := b2.AddState(kripke.P("b"))
+	must(t, b2.AddTransition(da, da))
+	must(t, b2.AddTransition(da, db))
+	must(t, b2.AddTransition(db, db))
+	must(t, b2.SetInitial(da))
+	divergent := build(t, b2)
+
+	res, err := Compute(finite, divergent, Options{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if res.Corresponds() {
+		t.Error("AF b distinguishes the structures, so they must not correspond")
+	}
+}
+
+// randomLabelledStructure builds a random total structure over propositions
+// a, b with n states.
+func randomLabelledStructure(r *rand.Rand, n int, name string) *kripke.Structure {
+	b := kripke.NewBuilder(name)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			b.AddState(kripke.P("a"))
+		case 1:
+			b.AddState(kripke.P("b"))
+		default:
+			b.AddState(kripke.P("a"), kripke.P("b"))
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg := 1 + r.Intn(2)
+		for d := 0; d < deg; d++ {
+			_ = b.AddTransition(kripke.State(i), kripke.State(r.Intn(n)))
+		}
+	}
+	_ = b.SetInitial(0)
+	m, err := b.BuildPartial()
+	if err != nil {
+		panic(err)
+	}
+	return m.MakeTotal()
+}
+
+// TestTheorem2OnRandomStructures is the executable form of the paper's
+// Theorem 2: whenever the decision procedure says two structures correspond,
+// they agree on every CTL* (no nexttime) formula in a battery; whenever a
+// formula distinguishes them, the procedure must say they do not correspond.
+func TestTheorem2OnRandomStructures(t *testing.T) {
+	formulas := []logic.Formula{
+		logic.MustParse("AG a"),
+		logic.MustParse("AF b"),
+		logic.MustParse("EG a"),
+		logic.MustParse("EF (a & b)"),
+		logic.MustParse("A (a U b)"),
+		logic.MustParse("E (a U (b & EG b))"),
+		logic.MustParse("AG (a -> AF b)"),
+		logic.MustParse("AG (EF a)"),
+		logic.MustParse("E ((F a) & (F b))"),
+		logic.MustParse("A ((G a) | (F (b & EF a)))"),
+		logic.MustParse("E (G (F a))"),
+		logic.MustParse("A (G (F (a | b)))"),
+	}
+	r := rand.New(rand.NewSource(31337))
+	corresponding := 0
+	for iter := 0; iter < 120; iter++ {
+		m1 := randomLabelledStructure(r, 2+r.Intn(4), "left")
+		m2 := randomLabelledStructure(r, 2+r.Intn(4), "right")
+		res, err := Compute(m1, m2, Options{ReachableOnly: true})
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		// For Theorem 2 only the initial states matter; totality over
+		// unreachable states is irrelevant, hence ReachableOnly above.
+		if !res.InitialRelated {
+			continue
+		}
+		agrees := true
+		c1 := mc.New(m1)
+		c2 := mc.New(m2)
+		for _, f := range formulas {
+			h1, err := c1.Holds(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := c2.Holds(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 {
+				agrees = false
+				if res.Corresponds() {
+					t.Fatalf("iteration %d: structures correspond but disagree on %s", iter, f)
+				}
+			}
+		}
+		if res.Corresponds() {
+			corresponding++
+			_ = agrees
+		}
+	}
+	if corresponding == 0 {
+		t.Log("warning: no random pair corresponded; Theorem 2 direction exercised only by the named tests")
+	}
+}
+
+// TestCorrespondenceIsCheckable: for random pairs, whatever Compute returns
+// must pass Check (when the structures correspond), and Check must reject a
+// deliberately corrupted relation.
+func TestComputeCheckAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	checked := 0
+	for iter := 0; iter < 60 && checked < 10; iter++ {
+		m1 := randomLabelledStructure(r, 2+r.Intn(3), "left")
+		m2 := randomLabelledStructure(r, 2+r.Intn(3), "right")
+		res, err := Compute(m1, m2, Options{ReachableOnly: true})
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		if !res.Corresponds() {
+			continue
+		}
+		checked++
+		if violations := Check(m1, m2, res.Relation, Options{ReachableOnly: true}); len(violations) != 0 {
+			t.Fatalf("computed correspondence fails Check: %v", violations)
+		}
+		// Corrupt the relation by claiming an exact match (degree 0) for the
+		// pair with the largest degree; if every degree is already 0 the
+		// relation is insensitive to this corruption, so skip.
+		if res.Relation.MaxDegree() == 0 {
+			continue
+		}
+		var worst Pair
+		for _, p := range res.Relation.Pairs() {
+			if p.Degree > worst.Degree {
+				worst = p
+			}
+		}
+		res.Relation.Set(worst.S, worst.T, 0)
+		if violations := Check(m1, m2, res.Relation, Options{ReachableOnly: true}); len(violations) == 0 {
+			t.Fatalf("corrupted relation (pair %v forced to degree 0) should fail Check", worst)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no corresponding random pairs found; covered by deterministic tests")
+	}
+}
+
+func TestCheckDetectsBadRelations(t *testing.T) {
+	left := twoStateCycle(t)
+	right := stutteredCycle(t, 1)
+
+	// Wrong dimensions.
+	if v := Check(left, right, NewRelation(1, 1), Options{}); len(v) == 0 {
+		t.Error("dimension mismatch should be reported")
+	}
+
+	// Label clash: relate the 'a' state to the 'b' state.
+	rel := NewRelation(left.NumStates(), right.NumStates())
+	rel.Set(0, 2, 0)
+	violations := Check(left, right, rel, Options{})
+	foundLabel, foundInitial, foundTotal := false, false, false
+	for _, v := range violations {
+		switch v.Clause {
+		case "2a":
+			foundLabel = true
+		case "1":
+			foundInitial = true
+		case "total-left", "total-right":
+			foundTotal = true
+		}
+		if v.Error() == "" {
+			t.Error("violation should render as an error string")
+		}
+	}
+	if !foundLabel {
+		t.Errorf("expected a 2a violation, got %v", violations)
+	}
+	if !foundInitial {
+		t.Errorf("expected a clause 1 violation, got %v", violations)
+	}
+	if !foundTotal {
+		t.Errorf("expected a totality violation, got %v", violations)
+	}
+
+	// Negative degree.
+	rel2 := NewRelation(left.NumStates(), right.NumStates())
+	rel2.Set(0, 0, -3)
+	found := false
+	for _, v := range Check(left, right, rel2, Options{}) {
+		if v.Clause == "degree" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("negative degree should be reported")
+	}
+}
+
+func TestMinimizeCollapsesStutterChain(t *testing.T) {
+	m := stutteredCycle(t, 3)
+	res, err := Minimize(m, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if !res.Verified {
+		t.Error("Minimize should verify its own output")
+	}
+	if res.Quotient.NumStates() >= m.NumStates() {
+		t.Errorf("quotient has %d states, original %d — no reduction", res.Quotient.NumStates(), m.NumStates())
+	}
+	if res.Quotient.NumStates() != 2 {
+		t.Errorf("stuttered cycle should collapse to 2 states, got %d", res.Quotient.NumStates())
+	}
+	// Class bookkeeping is consistent.
+	if len(res.ClassOf) != m.NumStates() {
+		t.Fatalf("ClassOf has %d entries", len(res.ClassOf))
+	}
+	total := 0
+	for _, cls := range res.Classes {
+		total += len(cls)
+	}
+	if total != m.NumStates() {
+		t.Errorf("classes cover %d of %d states", total, m.NumStates())
+	}
+	// The quotient preserves CTL* (no X) formulas.
+	for _, text := range []string{"AF b", "AG (a -> AF b)", "EG a", "A (a U b)"} {
+		f := logic.MustParse(text)
+		h1, err := mc.New(m).Holds(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := mc.New(res.Quotient).Holds(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Errorf("quotient changed the truth of %s", text)
+		}
+	}
+	// But it legitimately changes nexttime formulas — that is exactly why the
+	// paper excludes X.
+	xf := logic.MustParse("AX b")
+	h1, err := mc.New(m).Holds(xf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := mc.New(res.Quotient).Holds(xf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Log("note: AX b happens to agree on this pair; the X-exclusion is demonstrated elsewhere")
+	}
+}
+
+func TestMinimizeIdempotentOnMinimalStructure(t *testing.T) {
+	m := twoStateCycle(t)
+	res, err := Minimize(m, Options{})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if res.Quotient.NumStates() != m.NumStates() {
+		t.Errorf("already-minimal structure should not shrink, got %d states", res.Quotient.NumStates())
+	}
+}
+
+func TestIndexedCorrespondence(t *testing.T) {
+	// Two two-process "families" over the indexed proposition w: in each, one
+	// process eventually withdraws (w turns off) and the other keeps w
+	// forever.  The structures use different index values for the two roles
+	// (m1: process 1 withdraws, process 2 persists; m2: process 5 withdraws,
+	// process 1 persists), so only the IN relation that matches roles —
+	// {(1,5),(2,1)} — yields an indexed correspondence.
+	build1 := func(name string, withdrawing, persisting int) *kripke.Structure {
+		b := kripke.NewBuilder(name)
+		s0 := b.AddState(kripke.PI("w", withdrawing), kripke.PI("w", persisting))
+		s1 := b.AddState(kripke.PI("w", persisting))
+		must(t, b.AddTransition(s0, s1))
+		must(t, b.AddTransition(s1, s1))
+		must(t, b.SetInitial(s0))
+		b.DeclareIndex(withdrawing)
+		b.DeclareIndex(persisting)
+		return build(t, b)
+	}
+	m1 := build1("m1", 1, 2)
+	m2 := build1("m2", 5, 1)
+
+	in := []bisimIndexPairAlias{{1, 5}, {2, 1}}
+	res, err := IndexedCompute(m1, m2, toIndexPairs(in), Options{})
+	if err != nil {
+		t.Fatalf("IndexedCompute: %v", err)
+	}
+	if !res.Corresponds() {
+		t.Fatalf("role-matching IN relation should indexed-correspond: failing pairs %v", res.FailingPairs())
+	}
+
+	// An IN relation that is not total on the right must be rejected.
+	res2, err := IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 5}, {2, 5}}), Options{})
+	if err != nil {
+		t.Fatalf("IndexedCompute: %v", err)
+	}
+	if res2.Corresponds() {
+		t.Error("IN relation missing index 1 of the right structure should not yield a correspondence")
+	}
+	if res2.INTotalRight {
+		t.Error("INTotalRight should be false")
+	}
+
+	// Pairing the roles the wrong way round must fail: the reduction of a
+	// withdrawing process satisfies AF !w, the reduction of a persisting one
+	// does not.
+	res3, err := IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 1}, {2, 5}}), Options{})
+	if err != nil {
+		t.Fatalf("IndexedCompute: %v", err)
+	}
+	if res3.Corresponds() {
+		t.Error("role-mismatched index pairing should not correspond")
+	}
+	if len(res3.FailingPairs()) == 0 {
+		t.Error("FailingPairs should name the mismatched pairs")
+	}
+
+	if _, err := IndexedCompute(m1, m2, nil, Options{}); err == nil {
+		t.Error("empty IN relation should be an error")
+	}
+
+	ok, err := IndexedCorrespond(m1, m2, toIndexPairs(in), Options{})
+	if err != nil || !ok {
+		t.Errorf("IndexedCorrespond = %v, %v", ok, err)
+	}
+}
+
+type bisimIndexPairAlias struct{ i, i2 int }
+
+func toIndexPairs(in []bisimIndexPairAlias) []IndexPair {
+	out := make([]IndexPair, 0, len(in))
+	for _, p := range in {
+		out = append(out, IndexPair{I: p.i, I2: p.i2})
+	}
+	return out
+}
+
+func TestDefaultIndexRelation(t *testing.T) {
+	b := kripke.NewBuilder("small")
+	s := b.AddState(kripke.PI("w", 1), kripke.PI("w", 2))
+	must(t, b.AddTransition(s, s))
+	must(t, b.SetInitial(s))
+	small := build(t, b)
+
+	b2 := kripke.NewBuilder("large")
+	s2 := b2.AddState(kripke.PI("w", 1), kripke.PI("w", 2), kripke.PI("w", 3), kripke.PI("w", 4))
+	must(t, b2.AddTransition(s2, s2))
+	must(t, b2.SetInitial(s2))
+	large := build(t, b2)
+
+	in := DefaultIndexRelation(small, large)
+	if len(in) != 4 {
+		t.Fatalf("DefaultIndexRelation returned %d pairs, want 4", len(in))
+	}
+	if in[0] != (IndexPair{I: 1, I2: 1}) {
+		t.Errorf("first pair = %v", in[0])
+	}
+	covered := map[int]bool{}
+	for _, p := range in {
+		covered[p.I2] = true
+	}
+	for i := 1; i <= 4; i++ {
+		if !covered[i] {
+			t.Errorf("index %d of the large structure is not covered", i)
+		}
+	}
+	if got := DefaultIndexRelation(small, build(t, noIndexBuilder(t))); got != nil {
+		t.Errorf("DefaultIndexRelation with an unindexed structure = %v, want nil", got)
+	}
+}
+
+func noIndexBuilder(t *testing.T) *kripke.Builder {
+	t.Helper()
+	b := kripke.NewBuilder("plain")
+	s := b.AddState(kripke.P("x"))
+	must(t, b.AddTransition(s, s))
+	must(t, b.SetInitial(s))
+	return b
+}
+
+func TestOnePropsAffectLabelComparison(t *testing.T) {
+	// Two single-state structures whose ordinary labels agree but whose
+	// "exactly one w" truth differs: one has a single w process, the other
+	// two.  Without OneProps they correspond on the w[1]-reduction; with
+	// OneProps they must not.
+	b := kripke.NewBuilder("one-w")
+	s := b.AddState(kripke.PI("w", 1))
+	must(t, b.AddTransition(s, s))
+	must(t, b.SetInitial(s))
+	oneW := build(t, b)
+
+	b2 := kripke.NewBuilder("two-w")
+	s2 := b2.AddState(kripke.PI("w", 1), kripke.PI("w", 2))
+	must(t, b2.AddTransition(s2, s2))
+	must(t, b2.SetInitial(s2))
+	twoW := build(t, b2)
+
+	redA := oneW.ReduceNormalized(1)
+	redB := twoW.ReduceNormalized(1)
+	plain, err := Correspond(redA, redB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain {
+		t.Fatal("reductions should correspond when the O_i atom is ignored")
+	}
+	withOne, err := Correspond(redA, redB, Options{OneProps: []string{"w"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOne {
+		t.Error("reductions must not correspond once O_i w_i is part of AP")
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	m := twoStateCycle(t)
+	empty := &kripke.Structure{}
+	if _, err := Compute(empty, m, Options{}); err == nil {
+		t.Error("Compute with an empty structure should fail")
+	}
+}

@@ -1,0 +1,165 @@
+package bisim
+
+import (
+	"fmt"
+
+	"repro/internal/kripke"
+)
+
+// This file verifies that a *given* relation with degrees satisfies the
+// definition of a correspondence relation (Section 3, clauses 1, 2a, 2b, 2c,
+// plus totality).  It is used to machine-check hand-built relations such as
+// the rank-based relation of the paper's Section 5 / Appendix, and to
+// re-validate transfer certificates produced by Compute.
+//
+// Clause reading (see DESIGN.md): the stuttering disjuncts require a degree
+// strictly smaller than the pair's own degree; the matched-move disjunct may
+// use any degree.
+
+// Violation describes one way in which a relation fails to be a
+// correspondence relation.
+type Violation struct {
+	Clause string       // "1", "2a", "2b", "2c", "total-left", "total-right", "degree"
+	S      kripke.State // state of the first structure (when applicable)
+	T      kripke.State // state of the second structure (when applicable)
+	Detail string
+}
+
+// Error implements the error interface.
+func (v Violation) Error() string {
+	return fmt.Sprintf("bisim: clause %s violated at pair (%d,%d): %s", v.Clause, v.S, v.T, v.Detail)
+}
+
+// Check verifies that rel is a correspondence relation between m and m2
+// under the given options.  It returns the list of violations found (nil if
+// rel is a valid correspondence relation).  Following the paper, the check
+// requires:
+//
+//  1. the initial states are related (with some degree);
+//     2a. related states have identical labels (including the O_i P_i atoms
+//     selected by opts.OneProps);
+//     2b. / 2c. the transfer conditions with degrees;
+//     total: every state of each structure (or every reachable state when
+//     opts.ReachableOnly is set) appears in some pair.
+func Check(m, m2 *kripke.Structure, rel *Relation, opts Options) []Violation {
+	var out []Violation
+	n, n2 := rel.Dims()
+	if n != m.NumStates() || n2 != m2.NumStates() {
+		return []Violation{{
+			Clause: "degree",
+			Detail: fmt.Sprintf("relation dimensions %dx%d do not match structures %dx%d", n, n2, m.NumStates(), m2.NumStates()),
+		}}
+	}
+
+	if _, ok := rel.Degree(m.Initial(), m2.Initial()); !ok {
+		out = append(out, Violation{
+			Clause: "1", S: m.Initial(), T: m2.Initial(),
+			Detail: "initial states are not related",
+		})
+	}
+
+	out = append(out, checkTotality(m, m2, rel, opts)...)
+
+	for _, p := range rel.Pairs() {
+		if p.Degree < 0 {
+			out = append(out, Violation{Clause: "degree", S: p.S, T: p.T,
+				Detail: fmt.Sprintf("degree %d is negative", p.Degree)})
+			continue
+		}
+		if opts.labelOf(m, p.S) != opts.labelOf(m2, p.T) {
+			out = append(out, Violation{Clause: "2a", S: p.S, T: p.T,
+				Detail: fmt.Sprintf("labels differ: %v vs %v", m.Label(p.S), m2.Label(p.T))})
+			continue
+		}
+		if !clause2b(m, m2, rel, p.S, p.T, p.Degree) {
+			out = append(out, Violation{Clause: "2b", S: p.S, T: p.T,
+				Detail: fmt.Sprintf("transfer condition fails at degree %d", p.Degree)})
+		}
+		if !clause2c(m, m2, rel, p.S, p.T, p.Degree) {
+			out = append(out, Violation{Clause: "2c", S: p.S, T: p.T,
+				Detail: fmt.Sprintf("transfer condition fails at degree %d", p.Degree)})
+		}
+	}
+	return out
+}
+
+func checkTotality(m, m2 *kripke.Structure, rel *Relation, opts Options) []Violation {
+	var out []Violation
+	leftStates := m.States()
+	rightStates := m2.States()
+	if opts.ReachableOnly {
+		leftStates = m.ReachableStates()
+		rightStates = m2.ReachableStates()
+	}
+	for _, s := range leftStates {
+		if len(rel.RelatedLeft(s)) == 0 {
+			out = append(out, Violation{Clause: "total-left", S: s, T: kripke.NoState,
+				Detail: fmt.Sprintf("state %d of %s is unrelated", s, m.Name())})
+		}
+	}
+	for _, t := range rightStates {
+		if len(rel.RelatedRight(t)) == 0 {
+			out = append(out, Violation{Clause: "total-right", S: kripke.NoState, T: t,
+				Detail: fmt.Sprintf("state %d of %s is unrelated", t, m2.Name())})
+		}
+	}
+	return out
+}
+
+// clause2b checks the forward transfer condition for the pair (s, t) at
+// degree k:
+//
+//	[∃ t→t1 with (s,t1) ∈ E and degree(s,t1) < k]  ∨
+//	[∀ s→s1:  ((s1,t) ∈ E and degree(s1,t) < k)  ∨  (∃ t→t1 with (s1,t1) ∈ E)]
+func clause2b(m, m2 *kripke.Structure, rel *Relation, s, t kripke.State, k int) bool {
+	// First disjunct: the second structure stutters, with a smaller degree.
+	for _, t1 := range m2.Succ(t) {
+		if d, ok := rel.Degree(s, t1); ok && d < k {
+			return true
+		}
+	}
+	// Second disjunct: every move of the first structure is either a
+	// stutter (smaller degree) or matched by a move of the second.
+	for _, s1 := range m.Succ(s) {
+		if d, ok := rel.Degree(s1, t); ok && d < k {
+			continue
+		}
+		matched := false
+		for _, t1 := range m2.Succ(t) {
+			if rel.Contains(s1, t1) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// clause2c is the mirror image of clause2b (roles of the structures
+// swapped).
+func clause2c(m, m2 *kripke.Structure, rel *Relation, s, t kripke.State, k int) bool {
+	for _, s1 := range m.Succ(s) {
+		if d, ok := rel.Degree(s1, t); ok && d < k {
+			return true
+		}
+	}
+	for _, t1 := range m2.Succ(t) {
+		if d, ok := rel.Degree(s, t1); ok && d < k {
+			continue
+		}
+		matched := false
+		for _, s1 := range m.Succ(s) {
+			if rel.Contains(s1, t1) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}

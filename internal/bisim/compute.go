@@ -1,0 +1,282 @@
+package bisim
+
+import (
+	"fmt"
+
+	"repro/internal/kripke"
+)
+
+// This file computes the *maximal* correspondence between two structures and
+// the minimal degree of every related pair.  The paper defines the relation
+// but notes that the definition is not constructive; the companion paper
+// (Browne, Clarke, Grumberg 1987, "Characterizing Kripke structures in
+// temporal logic") gives an algorithm.  We implement it as two nested
+// fixpoints:
+//
+//   - outer greatest fixpoint over the candidate pair set R, initialised to
+//     all label-equal pairs, from which pairs without a finite degree are
+//     repeatedly removed;
+//   - inner least fixpoint assigning minimal degrees: degree 0 is an exact
+//     match with respect to R; degree m is the least m for which clauses 2b
+//     and 2c hold when "strictly smaller degree" references pairs of degree
+//     < m and "matched move" references any pair of R.
+//
+// As proved after the definition in Section 3, the minimal degree of any
+// corresponding pair is bounded by |S| + |S'|, which bounds the inner
+// iteration.
+
+// Result is the outcome of Compute.
+type Result struct {
+	// Relation is the maximal correspondence: every pair that can be part of
+	// some correspondence relation, with its minimal degree.
+	Relation *Relation
+	// InitialRelated reports whether the two initial states are related
+	// (clause 1).
+	InitialRelated bool
+	// TotalLeft / TotalRight report whether every (reachable, if the option
+	// is set) state of the first / second structure is related to something.
+	TotalLeft  bool
+	TotalRight bool
+	// OuterIterations and DegreeRounds are work counters for the experiment
+	// harness.
+	OuterIterations int
+	DegreeRounds    int
+}
+
+// Corresponds reports whether the two structures correspond in the sense of
+// the paper: initial states related and the relation total on both state
+// sets.  When it returns true, Theorem 2 guarantees that the structures
+// satisfy the same CTL* (no nexttime) formulas built from the compared
+// propositions.
+func (r *Result) Corresponds() bool {
+	return r != nil && r.InitialRelated && r.TotalLeft && r.TotalRight
+}
+
+// Compute returns the maximal correspondence between m and m2 under opts.
+func Compute(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+	n, n2 := m.NumStates(), m2.NumStates()
+	if n == 0 || n2 == 0 {
+		return nil, fmt.Errorf("bisim: Compute: structures must be non-empty (got %d and %d states)", n, n2)
+	}
+
+	// Candidate relation: label-equal pairs.
+	leftKeys := make([]string, n)
+	for s := 0; s < n; s++ {
+		leftKeys[s] = opts.labelOf(m, kripke.State(s))
+	}
+	rightKeys := make([]string, n2)
+	for t := 0; t < n2; t++ {
+		rightKeys[t] = opts.labelOf(m2, kripke.State(t))
+	}
+	inR := make([]bool, n*n2)
+	pairCount := 0
+	for s := 0; s < n; s++ {
+		base := s * n2
+		for t := 0; t < n2; t++ {
+			if leftKeys[s] == rightKeys[t] {
+				inR[base+t] = true
+				pairCount++
+			}
+		}
+	}
+
+	maxRounds := opts.MaxDegreeRounds
+	if maxRounds <= 0 {
+		// The paper bounds the minimal degree by |S| + |S'|; we allow up to
+		// |S| * |S'| rounds to stay safe (the iteration stops as soon as a
+		// round makes no progress, so the generous bound costs nothing).
+		maxRounds = n*n2 + 1
+	}
+
+	res := &Result{}
+	deg := make([]int, n*n2)
+	for {
+		res.OuterIterations++
+		rounds := computeDegrees(m, m2, inR, deg, maxRounds)
+		res.DegreeRounds += rounds
+		removed := false
+		for i, ok := range inR {
+			if ok && deg[i] == InfiniteDegree {
+				inR[i] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+
+	rel := NewRelation(n, n2)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n2; t++ {
+			i := s*n2 + t
+			if inR[i] {
+				rel.Set(kripke.State(s), kripke.State(t), deg[i])
+			}
+		}
+	}
+	res.Relation = rel
+	_, res.InitialRelated = rel.Degree(m.Initial(), m2.Initial())
+	res.TotalLeft, res.TotalRight = totality(m, m2, rel, opts)
+	return res, nil
+}
+
+// Correspond is a convenience wrapper: it computes the maximal
+// correspondence and reports whether the structures correspond.
+func Correspond(m, m2 *kripke.Structure, opts Options) (bool, error) {
+	res, err := Compute(m, m2, opts)
+	if err != nil {
+		return false, err
+	}
+	return res.Corresponds(), nil
+}
+
+func totality(m, m2 *kripke.Structure, rel *Relation, opts Options) (left, right bool) {
+	leftStates := m.States()
+	rightStates := m2.States()
+	if opts.ReachableOnly {
+		leftStates = m.ReachableStates()
+		rightStates = m2.ReachableStates()
+	}
+	left, right = true, true
+	for _, s := range leftStates {
+		if len(rel.RelatedLeft(s)) == 0 {
+			left = false
+			break
+		}
+	}
+	for _, t := range rightStates {
+		if len(rel.RelatedRight(t)) == 0 {
+			right = false
+			break
+		}
+	}
+	return left, right
+}
+
+// computeDegrees assigns to deg the minimal degree of every pair of the
+// candidate relation inR (InfiniteDegree if the pair has no finite degree),
+// and returns the number of rounds used.
+func computeDegrees(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) int {
+	n2 := m2.NumStates()
+	for i := range deg {
+		deg[i] = InfiniteDegree
+	}
+	// Round 0: exact matches with respect to inR.
+	var unresolved []int
+	for i, ok := range inR {
+		if !ok {
+			continue
+		}
+		s := kripke.State(i / n2)
+		t := kripke.State(i % n2)
+		if exactMatch(m, m2, inR, n2, s, t) {
+			deg[i] = 0
+		} else {
+			unresolved = append(unresolved, i)
+		}
+	}
+	rounds := 1
+	for len(unresolved) > 0 && rounds <= maxRounds {
+		var still []int
+		progressed := false
+		for _, i := range unresolved {
+			s := kripke.State(i / n2)
+			t := kripke.State(i % n2)
+			if degClause2b(m, m2, inR, deg, n2, s, t, rounds) && degClause2c(m, m2, inR, deg, n2, s, t, rounds) {
+				deg[i] = rounds
+				progressed = true
+			} else {
+				still = append(still, i)
+			}
+		}
+		unresolved = still
+		if !progressed {
+			break
+		}
+		rounds++
+	}
+	return rounds
+}
+
+func exactMatch(m, m2 *kripke.Structure, inR []bool, n2 int, s, t kripke.State) bool {
+	for _, s1 := range m.Succ(s) {
+		matched := false
+		for _, t1 := range m2.Succ(t) {
+			if inR[int(s1)*n2+int(t1)] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	for _, t1 := range m2.Succ(t) {
+		matched := false
+		for _, s1 := range m.Succ(s) {
+			if inR[int(s1)*n2+int(t1)] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// degClause2b mirrors clause2b of check.go but over the working arrays of
+// the decision procedure: "strictly smaller degree" means an assigned degree
+// < k, "matched move" means membership in the candidate relation.
+func degClause2b(m, m2 *kripke.Structure, inR []bool, deg []int, n2 int, s, t kripke.State, k int) bool {
+	for _, t1 := range m2.Succ(t) {
+		if d := deg[int(s)*n2+int(t1)]; inR[int(s)*n2+int(t1)] && d != InfiniteDegree && d < k {
+			return true
+		}
+	}
+	for _, s1 := range m.Succ(s) {
+		i := int(s1)*n2 + int(t)
+		if inR[i] && deg[i] != InfiniteDegree && deg[i] < k {
+			continue
+		}
+		matched := false
+		for _, t1 := range m2.Succ(t) {
+			if inR[int(s1)*n2+int(t1)] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+func degClause2c(m, m2 *kripke.Structure, inR []bool, deg []int, n2 int, s, t kripke.State, k int) bool {
+	for _, s1 := range m.Succ(s) {
+		i := int(s1)*n2 + int(t)
+		if inR[i] && deg[i] != InfiniteDegree && deg[i] < k {
+			return true
+		}
+	}
+	for _, t1 := range m2.Succ(t) {
+		i := int(s)*n2 + int(t1)
+		if inR[i] && deg[i] != InfiniteDegree && deg[i] < k {
+			continue
+		}
+		matched := false
+		for _, s1 := range m.Succ(s) {
+			if inR[int(s1)*n2+int(t1)] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}

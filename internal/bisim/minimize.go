@@ -1,0 +1,177 @@
+package bisim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kripke"
+)
+
+// This file implements quotienting ("collapsing a large machine into a much
+// smaller one", as the paper's related-work section puts it): a structure is
+// reduced modulo its maximal self-correspondence, and the reduction is
+// verified to correspond to the original, so every CTL* (no nexttime)
+// formula is preserved.
+
+// MinimizeResult is the outcome of Minimize.
+type MinimizeResult struct {
+	// Quotient is the reduced structure.
+	Quotient *kripke.Structure
+	// ClassOf maps every original state to its quotient state.
+	ClassOf []kripke.State
+	// Classes lists the original states of each quotient state.
+	Classes [][]kripke.State
+	// Verified reports that the quotient was checked (via Compute) to
+	// correspond to the original structure; Minimize returns an error when
+	// the verification fails, so this is always true on success.
+	Verified bool
+}
+
+// Minimize quotients m by its maximal self-correspondence and verifies the
+// result.  Two states end up in the same class when they are related by the
+// maximal correspondence of m with itself (the relation is reflexive and
+// symmetric by construction; classes are its connected components).  A class
+// self-loop is added only when the class contains a cycle of m, so that no
+// spurious divergence (infinite stuttering) is introduced.
+//
+// The quotient is verified by computing the correspondence between m and the
+// quotient; if they do not correspond — which cannot happen for structures
+// on which the maximal self-correspondence is transitive, but is checked
+// defensively — an error is returned.
+func Minimize(m *kripke.Structure, opts Options) (*MinimizeResult, error) {
+	res, err := Compute(m, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumStates()
+
+	// Union-find over related pairs.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range res.Relation.Pairs() {
+		union(int(p.S), int(p.T))
+	}
+
+	// Number classes densely in order of first appearance.
+	classIndex := map[int]int{}
+	classOf := make([]kripke.State, n)
+	var classes [][]kripke.State
+	for s := 0; s < n; s++ {
+		root := find(s)
+		ci, ok := classIndex[root]
+		if !ok {
+			ci = len(classes)
+			classIndex[root] = ci
+			classes = append(classes, nil)
+		}
+		classOf[s] = kripke.State(ci)
+		classes[ci] = append(classes[ci], kripke.State(s))
+	}
+
+	b := kripke.NewBuilder(m.Name() + "/min")
+	for ci := range classes {
+		rep := classes[ci][0]
+		s := b.AddState(m.Label(rep)...)
+		// Carry the representative's "exactly one" truth values over: when m
+		// is a reduction M|i the other indices are gone from the labels, so
+		// the derived computation would lose the O_i P_i atoms of Section 4.
+		if err := b.SetOnes(s, m.OneProps(rep)); err != nil {
+			return nil, err
+		}
+	}
+	for _, i := range m.IndexValues() {
+		b.DeclareIndex(i)
+	}
+	// Cross edges between distinct classes.
+	for s := 0; s < n; s++ {
+		for _, t := range m.Succ(kripke.State(s)) {
+			cs, ct := classOf[s], classOf[t]
+			if cs != ct {
+				if err := b.AddTransition(cs, ct); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// A class gets a self loop only if the subgraph of m induced by the
+	// class contains a cycle (so the original structure really can stutter
+	// inside the class forever).
+	for ci, members := range classes {
+		if classHasCycle(m, members, classOf, kripke.State(ci)) {
+			if err := b.AddTransition(kripke.State(ci), kripke.State(ci)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.SetInitial(classOf[m.Initial()]); err != nil {
+		return nil, err
+	}
+	q, err := b.BuildPartial()
+	if err != nil {
+		return nil, err
+	}
+	q = q.MakeTotal()
+
+	verify, err := Compute(m, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !verify.Corresponds() {
+		return nil, fmt.Errorf("bisim: Minimize: quotient of %s does not correspond to the original "+
+			"(the maximal self-correspondence is not a congruence for this structure); use the original structure",
+			m.Name())
+	}
+	return &MinimizeResult{Quotient: q, ClassOf: classOf, Classes: classes, Verified: true}, nil
+}
+
+// classHasCycle reports whether the subgraph of m induced by the members of
+// one class contains a cycle (including a self loop).
+func classHasCycle(m *kripke.Structure, members []kripke.State, classOf []kripke.State, class kripke.State) bool {
+	if len(members) == 0 {
+		return false
+	}
+	local := make(map[kripke.State]int, len(members))
+	for i, s := range members {
+		local[s] = i
+	}
+	g := graph.New(len(members))
+	hasEdge := false
+	for _, s := range members {
+		for _, t := range m.Succ(s) {
+			if classOf[t] != class {
+				continue
+			}
+			if s == t {
+				return true
+			}
+			g.AddEdge(local[s], local[t])
+			hasEdge = true
+		}
+	}
+	if !hasEdge {
+		return false
+	}
+	scc := g.SCC()
+	for c := 0; c < scc.NumComponents(); c++ {
+		if !scc.IsTrivial(g, c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+	"repro/internal/ring"
+)
+
+// ringFamily adapts the token ring of Section 5 to the core.Family
+// interface.
+func ringFamily() Family {
+	return &FamilyFunc{
+		FamilyName: "token-ring",
+		Build: func(n int) (*kripke.Structure, error) {
+			inst, err := ring.Build(n)
+			if err != nil {
+				return nil, err
+			}
+			return inst.M, nil
+		},
+		Indices: func(small, n int) []bisim.IndexPair {
+			return ring.CutoffIndexRelation(small, n)
+		},
+		Ones: []string{ring.PropToken},
+	}
+}
+
+func ringSpecs() []Spec {
+	var specs []Spec
+	for _, nf := range ring.Properties() {
+		specs = append(specs, Spec{Name: nf.Name, Formula: nf.Formula})
+	}
+	return specs
+}
+
+func TestVerifierRunsThePaperWorkflowFromTheCutoff(t *testing.T) {
+	v, err := NewVerifier(ringFamily(), Options{
+		SmallSize:           ring.CutoffSize,
+		CorrespondenceSizes: []int{4, 5},
+	})
+	if err != nil {
+		t.Fatalf("NewVerifier: %v", err)
+	}
+	report, err := v.Run(ringSpecs())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !report.AllHold() {
+		t.Error("all four Section 5 properties should hold on the cutoff instance")
+	}
+	for _, res := range report.Results {
+		if !res.Transferable {
+			t.Errorf("property %s should be transferable: %v", res.Spec.Name, res.RestrictionIssues)
+		}
+	}
+	if got := report.VerifiedSizes(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("VerifiedSizes = %v, want [4 5]", got)
+	}
+	if report.SmallStates != ring.ExpectedReachable(ring.CutoffSize) {
+		t.Errorf("SmallStates = %d", report.SmallStates)
+	}
+	summary := report.Summary()
+	for _, want := range []string{"token-ring", "holds", "transfers by Theorem 5", "correspond"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("Summary missing %q:\n%s", want, summary)
+		}
+	}
+}
+
+func TestVerifierDetectsTheTwoProcessCutoffFailure(t *testing.T) {
+	v, err := NewVerifier(ringFamily(), Options{
+		SmallSize:           2,
+		CorrespondenceSizes: []int{3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := append(ringSpecs(), Spec{Name: "distinguishing", Formula: ring.DistinguishingFormula()})
+	report, err := v.Run(specs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, c := range report.Correspondence {
+		if c.Corresponds {
+			t.Errorf("M_2 must not correspond to M_%d", c.Size)
+		}
+	}
+	if got := report.VerifiedSizes(); len(got) != 0 {
+		t.Errorf("VerifiedSizes = %v, want none", got)
+	}
+	// The distinguishing formula fails on M_2 even though it is restricted —
+	// which is exactly why nothing can be concluded about larger rings from
+	// the two-process instance.
+	var dist *Result
+	for i := range report.Results {
+		if report.Results[i].Spec.Name == "distinguishing" {
+			dist = &report.Results[i]
+		}
+	}
+	if dist == nil {
+		t.Fatal("missing result for the distinguishing formula")
+	}
+	if dist.HoldsSmall {
+		t.Error("the distinguishing formula must fail on M_2")
+	}
+	if !dist.Transferable {
+		t.Error("the distinguishing formula is in the restricted fragment")
+	}
+	if !strings.Contains(report.Summary(), "DO NOT correspond") {
+		t.Errorf("summary should flag the failed correspondence:\n%s", report.Summary())
+	}
+}
+
+func TestVerifierRejectsUnrestrictedSpecs(t *testing.T) {
+	v, err := NewVerifier(ringFamily(), Options{SmallSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := v.Run([]Spec{{Name: "nexttime", Formula: logic.MustParse("forall i . AG (AX t[i])")}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res := report.Results[0]
+	if res.Transferable {
+		t.Error("a formula with nexttime must not be marked transferable")
+	}
+	if len(res.RestrictionIssues) == 0 {
+		t.Error("restriction issues should be reported")
+	}
+
+	// With the check disabled the formula is treated as transferable (the
+	// caller takes responsibility).
+	v2, err := NewVerifier(ringFamily(), Options{SmallSize: 2, SkipRestrictionCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report2, err := v2.Run([]Spec{{Name: "nexttime", Formula: logic.MustParse("forall i . AG (AX t[i])")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report2.Results[0].Transferable {
+		t.Error("SkipRestrictionCheck should mark the spec transferable")
+	}
+}
+
+func TestVerifierErrors(t *testing.T) {
+	if _, err := NewVerifier(nil, Options{}); err == nil {
+		t.Error("nil family should be rejected")
+	}
+	v, err := NewVerifier(ringFamily(), Options{SmallSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run([]Spec{{Name: "empty"}}); err == nil {
+		t.Error("spec without formula should be rejected")
+	}
+	if _, err := v.Run([]Spec{{Name: "free-var", Formula: logic.MustParse("d[i]")}}); err == nil {
+		t.Error("formula with a free index variable should be rejected by the checker")
+	}
+	// A family whose builder fails propagates the error.
+	broken := &FamilyFunc{FamilyName: "broken"}
+	vb, err := NewVerifier(broken, Options{SmallSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vb.Run(ringSpecs()); err == nil {
+		t.Error("family without a builder should fail")
+	}
+	// Oversized correspondence instance propagates the builder's refusal.
+	vc, err := NewVerifier(ringFamily(), Options{SmallSize: 3, CorrespondenceSizes: []int{50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vc.Run(ringSpecs()); err == nil {
+		t.Error("an instance beyond the explicit limit should fail loudly")
+	}
+}
+
+func TestFamilyFuncDefaults(t *testing.T) {
+	f := &FamilyFunc{FamilyName: "f"}
+	in := f.IndexRelation(2, 4)
+	if len(in) != 4 {
+		t.Fatalf("default IndexRelation has %d pairs", len(in))
+	}
+	if in[0] != (bisim.IndexPair{I: 1, I2: 1}) {
+		t.Errorf("first pair = %v", in[0])
+	}
+	if f.OneProps() != nil {
+		t.Error("OneProps default should be nil")
+	}
+	if f.Name() != "f" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestTransferCertificateRoundTrip(t *testing.T) {
+	family := ringFamily()
+	cert, err := BuildCertificate(family, ring.CutoffSize, 4)
+	if err != nil {
+		t.Fatalf("BuildCertificate: %v", err)
+	}
+	if err := cert.Validate(family); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The certificate survives JSON serialisation.
+	data, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var decoded TransferCertificate
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if err := decoded.Validate(family); err != nil {
+		t.Fatalf("decoded certificate fails validation: %v", err)
+	}
+	// Corrupting a relation makes validation fail.
+	if len(decoded.Pairs) == 0 {
+		t.Fatal("certificate has no pairs")
+	}
+	rel := decoded.Pairs[0].Relation
+	pairs := rel.Pairs()
+	rel.Remove(pairs[0].S, pairs[0].T)
+	if err := decoded.Validate(family); err == nil {
+		t.Error("corrupted certificate should fail validation")
+	}
+	// No certificate exists between M_2 and larger rings.
+	if _, err := BuildCertificate(family, 2, 4); err == nil {
+		t.Error("BuildCertificate must refuse the non-corresponding pair (2,4)")
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig31Table(t *testing.T) {
+	tbl, err := Fig31()
+	if err != nil {
+		t.Fatalf("Fig31: %v", err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("E1 has %d rows", len(tbl.Rows))
+	}
+	// The degree rows must report 0 and 2 as in the paper.
+	if tbl.Rows[0][2] != "0" {
+		t.Errorf("s1/s1'' degree cell = %q, want 0", tbl.Rows[0][2])
+	}
+	if tbl.Rows[1][2] != "2" {
+		t.Errorf("s1/s1' degree cell = %q, want 2", tbl.Rows[1][2])
+	}
+	if !strings.Contains(tbl.Markdown(), "| s1 / s1'' |") {
+		t.Error("markdown rendering missing the pair column")
+	}
+	if !strings.Contains(tbl.Text(), "E1") {
+		t.Error("text rendering missing the id")
+	}
+}
+
+func TestFig41Table(t *testing.T) {
+	tbl, err := Fig41(4)
+	if err != nil {
+		t.Fatalf("Fig41: %v", err)
+	}
+	// Counting formula of depth 2: false for n=1, true for n>=2.
+	var depth2 []string
+	for _, row := range tbl.Rows {
+		if row[0] == "counting depth 2" {
+			depth2 = row
+		}
+	}
+	if depth2 == nil {
+		t.Fatal("missing the depth-2 row")
+	}
+	if depth2[1] != "no" {
+		t.Errorf("depth-2 formula should not be restricted, got %q", depth2[1])
+	}
+	if depth2[2] != "false" || depth2[3] != "true" || depth2[5] != "true" {
+		t.Errorf("depth-2 truth row wrong: %v", depth2)
+	}
+	// Restricted rows must be constant across sizes 2..4.
+	for _, row := range tbl.Rows {
+		if row[1] != "yes" {
+			continue
+		}
+		if row[3] != row[4] || row[4] != row[5] {
+			t.Errorf("restricted formula %q varies across sizes: %v", row[0], row[2:])
+		}
+	}
+}
+
+func TestFig51Table(t *testing.T) {
+	tbl, err := Fig51()
+	if err != nil {
+		t.Fatalf("Fig51: %v", err)
+	}
+	if tbl.Rows[0][1] != "8" || tbl.Rows[0][2] != "8" {
+		t.Errorf("state row = %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][1] != "14" {
+		t.Errorf("transition row = %v", tbl.Rows[1])
+	}
+}
+
+func TestRingChecksTable(t *testing.T) {
+	tbl, err := RingChecks(4)
+	if err != nil {
+		t.Fatalf("RingChecks: %v", err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("expected 6 rows (2 invariants + 4 properties), got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[2:] {
+			if cell != "yes" {
+				t.Errorf("row %v has a failing entry", row)
+			}
+		}
+	}
+}
+
+func TestCorrespondenceCutoffTable(t *testing.T) {
+	tbl, err := CorrespondenceCutoff(5)
+	if err != nil {
+		t.Fatalf("CorrespondenceCutoff: %v", err)
+	}
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "2":
+			if row[2] != "no" {
+				t.Errorf("M_2 row should report no correspondence: %v", row)
+			}
+			if row[4] != "no" || row[5] != "yes" {
+				t.Errorf("distinguishing formula cells wrong: %v", row)
+			}
+		case "3":
+			if row[2] != "yes" {
+				t.Errorf("M_3 row should report a correspondence: %v", row)
+			}
+		}
+	}
+}
+
+func TestLocalRefutationTable(t *testing.T) {
+	tbl, err := LocalRefutation([]int{50}, 6, 7)
+	if err != nil {
+		t.Fatalf("LocalRefutation: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected one row per relation variant, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[4] == "0" {
+			t.Errorf("local refutation found no violations for %v", row)
+		}
+	}
+}
+
+func TestStateExplosionTable(t *testing.T) {
+	tbl, err := StateExplosion(5)
+	if err != nil {
+		t.Fatalf("StateExplosion: %v", err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected rows for r=2..5, got %d", len(tbl.Rows))
+	}
+	// State counts follow r·2^r and all properties hold.
+	wantStates := []string{"8", "24", "64", "160"}
+	for i, row := range tbl.Rows {
+		if row[1] != wantStates[i] {
+			t.Errorf("row %d state count = %q, want %q", i, row[1], wantStates[i])
+		}
+		if row[5] != "yes" {
+			t.Errorf("row %d should report all properties holding", i)
+		}
+	}
+	// The correspondence column for r >= 3 must report success.
+	if !strings.Contains(tbl.Rows[2][4], "true") {
+		t.Errorf("correspondence cell for r=4 = %q", tbl.Rows[2][4])
+	}
+}
+
+func TestMinimizationTable(t *testing.T) {
+	tbl, err := Minimization(4)
+	if err != nil {
+		t.Fatalf("Minimization: %v", err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tbl.Rows {
+		// The class count must never exceed the state count, and the r=2
+		// reduction must actually shrink (8 states, 6 classes).
+		states, err1 := strconv.Atoi(row[2])
+		classes, err2 := strconv.Atoi(row[3])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable counts in row %v", row)
+		}
+		if classes > states {
+			t.Errorf("class count exceeds state count: %v", row)
+		}
+	}
+	if tbl.Rows[0][3] != "6" {
+		t.Errorf("M_2|1 should have 6 equivalence classes, got %v", tbl.Rows[0])
+	}
+}
+
+func TestNestingConjectureTable(t *testing.T) {
+	tbl, err := NestingConjecture(3)
+	if err != nil {
+		t.Fatalf("NestingConjecture: %v", err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" {
+			t.Errorf("conjecture row inconsistent: %v", row)
+		}
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("All() builds several mid-sized rings; skipped in -short mode")
+	}
+	start := time.Now()
+	tables, err := All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(tables) != 9 {
+		t.Fatalf("expected 9 tables, got %d", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tbl := range tables {
+		ids[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %s is empty", tbl.ID)
+		}
+		if tbl.Markdown() == "" || tbl.Text() == "" {
+			t.Errorf("table %s does not render", tbl.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4/E5", "E6", "E6b", "E7", "E8", "E9"} {
+		if !ids[want] {
+			t.Errorf("missing table %s", want)
+		}
+	}
+	t.Logf("all experiments completed in %v", time.Since(start))
+}

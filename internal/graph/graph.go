@@ -1,0 +1,219 @@
+// Package graph provides the small set of directed-graph algorithms the
+// model checker and the correspondence engine are built on: depth-first
+// reachability, Tarjan's strongly connected components, and the condensation
+// (component DAG).  Graphs are represented as adjacency lists over dense
+// integer vertices so callers can map Kripke or tableau states directly onto
+// them.
+package graph
+
+import "fmt"
+
+// Graph is a directed graph over the vertices 0..N-1.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// FromAdjacency wraps an existing adjacency list without copying it.  The
+// caller must not modify adj afterwards.
+func FromAdjacency(adj [][]int) *Graph { return &Graph{adj: adj} }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge adds the directed edge u -> v.  It panics if either endpoint is
+// out of range, which always indicates a programming error in the caller.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", u, v, len(g.adj)))
+	}
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Succ returns the successors of u.  The returned slice must not be
+// modified.
+func (g *Graph) Succ(u int) []int { return g.adj[u] }
+
+// Reachable returns the set of vertices reachable from the given sources
+// (including the sources themselves) as a boolean slice indexed by vertex.
+func (g *Graph) Reachable(sources ...int) []bool {
+	seen := make([]bool, len(g.adj))
+	stack := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if s >= 0 && s < len(seen) && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// BackwardReachable returns the set of vertices from which some vertex in
+// targets is reachable.  It runs a reverse BFS, so it needs the transposed
+// adjacency which it builds on the fly.
+func (g *Graph) BackwardReachable(targets ...int) []bool {
+	rev := g.Transpose()
+	return rev.Reachable(targets...)
+}
+
+// Transpose returns the graph with all edges reversed.
+func (g *Graph) Transpose() *Graph {
+	t := New(len(g.adj))
+	for u, vs := range g.adj {
+		for _, v := range vs {
+			t.adj[v] = append(t.adj[v], u)
+		}
+	}
+	return t
+}
+
+// SCCResult is the output of Tarjan's algorithm.
+type SCCResult struct {
+	// Comp maps each vertex to its component number.  Components are
+	// numbered in reverse topological order: if there is an edge from
+	// component a to component b (a != b) then Comp index of a is greater
+	// than that of b.
+	Comp []int
+	// Components lists the vertices of each component.
+	Components [][]int
+}
+
+// NumComponents returns the number of strongly connected components.
+func (r *SCCResult) NumComponents() int { return len(r.Components) }
+
+// IsTrivial reports whether component c consists of a single vertex without
+// a self loop in the original graph g.  Trivial components cannot carry an
+// infinite path by themselves.
+func (r *SCCResult) IsTrivial(g *Graph, c int) bool {
+	if len(r.Components[c]) != 1 {
+		return false
+	}
+	v := r.Components[c][0]
+	for _, w := range g.Succ(v) {
+		if w == v {
+			return false
+		}
+	}
+	return true
+}
+
+// SCC computes the strongly connected components of g using an iterative
+// version of Tarjan's algorithm (iterative so that structures with hundreds
+// of thousands of states do not overflow the goroutine stack).
+func (g *Graph) SCC() *SCCResult {
+	n := len(g.adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	var components [][]int
+	next := 0
+
+	type frame struct {
+		v     int
+		child int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: root}}
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			v := fr.v
+			if fr.child == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for fr.child < len(g.adj[v]) {
+				w := g.adj[v][fr.child]
+				fr.child++
+				if index[w] == unvisited {
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All children explored.
+			if low[v] == index[v] {
+				var component []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(components)
+					component = append(component, w)
+					if w == v {
+						break
+					}
+				}
+				components = append(components, component)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return &SCCResult{Comp: comp, Components: components}
+}
+
+// Condensation returns the component DAG of g: one vertex per strongly
+// connected component, with an edge between two components whenever g has an
+// edge between their members.  Self loops and duplicate edges are removed.
+func (g *Graph) Condensation(scc *SCCResult) *Graph {
+	if scc == nil {
+		scc = g.SCC()
+	}
+	dag := New(scc.NumComponents())
+	seen := map[int64]bool{}
+	for u, vs := range g.adj {
+		cu := scc.Comp[u]
+		for _, v := range vs {
+			cv := scc.Comp[v]
+			if cu == cv {
+				continue
+			}
+			key := int64(cu)<<32 | int64(uint32(cv))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dag.AddEdge(cu, cv)
+		}
+	}
+	return dag
+}

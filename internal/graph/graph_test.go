@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("Reachable(0)[%d] = %v, want %v", i, seen[i], want[i])
+		}
+	}
+	seen = g.Reachable(0, 3)
+	if !seen[4] {
+		t.Error("multi-source reachability should include 4")
+	}
+	seen = g.Reachable()
+	for i, ok := range seen {
+		if ok {
+			t.Errorf("Reachable() should be empty, got vertex %d", i)
+		}
+	}
+}
+
+func TestBackwardReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 3)
+	back := g.BackwardReachable(2)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("BackwardReachable(2)[%d] = %v, want %v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tr := g.Transpose()
+	if len(tr.Succ(1)) != 1 || tr.Succ(1)[0] != 0 {
+		t.Errorf("Transpose Succ(1) = %v", tr.Succ(1))
+	}
+	if len(tr.Succ(0)) != 0 {
+		t.Errorf("Transpose Succ(0) = %v", tr.Succ(0))
+	}
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	scc := g.SCC()
+	if scc.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2", scc.NumComponents())
+	}
+	if scc.Comp[0] != scc.Comp[1] || scc.Comp[1] != scc.Comp[2] {
+		t.Error("vertices 0,1,2 should share a component")
+	}
+	if scc.Comp[3] == scc.Comp[0] {
+		t.Error("vertex 3 should be in its own component")
+	}
+	// Reverse topological numbering: the sink component {3} must have a
+	// smaller number than the cycle that reaches it.
+	if scc.Comp[3] > scc.Comp[0] {
+		t.Error("components should be numbered in reverse topological order")
+	}
+	cyc := scc.Comp[0]
+	if scc.IsTrivial(g, cyc) {
+		t.Error("the 3-cycle should not be trivial")
+	}
+	if !scc.IsTrivial(g, scc.Comp[3]) {
+		t.Error("vertex 3 without self loop should be trivial")
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	scc := g.SCC()
+	if scc.IsTrivial(g, scc.Comp[0]) {
+		t.Error("a vertex with a self loop is not trivial")
+	}
+	if !scc.IsTrivial(g, scc.Comp[1]) {
+		t.Error("vertex 1 is trivial")
+	}
+}
+
+func TestSCCAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + r.Intn(8)
+		g := New(n)
+		edges := r.Intn(n * n)
+		for e := 0; e < edges; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		scc := g.SCC()
+		// Brute force: u and v share a component iff each reaches the other.
+		for u := 0; u < n; u++ {
+			ru := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				rv := g.Reachable(v)
+				same := ru[v] && rv[u]
+				if same != (scc.Comp[u] == scc.Comp[v]) {
+					t.Fatalf("iter %d: SCC disagrees with brute force at (%d,%d)", iter, u, v)
+				}
+			}
+		}
+		// The component lists must partition the vertices.
+		total := 0
+		for _, comp := range scc.Components {
+			total += len(comp)
+		}
+		if total != n {
+			t.Fatalf("iter %d: components cover %d of %d vertices", iter, total, n)
+		}
+	}
+}
+
+func TestSCCLargeChain(t *testing.T) {
+	// A long chain exercises the iterative (non-recursive) implementation.
+	n := 200000
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	scc := g.SCC()
+	if scc.NumComponents() != n {
+		t.Fatalf("chain of %d vertices should have %d components, got %d", n, n, scc.NumComponents())
+	}
+}
+
+func TestCondensation(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 4)
+	scc := g.SCC()
+	dag := g.Condensation(scc)
+	if dag.N() != 3 {
+		t.Fatalf("condensation has %d vertices, want 3", dag.N())
+	}
+	// The DAG must be acyclic: every component's successors have strictly
+	// smaller component numbers (reverse topological order).
+	for u := 0; u < dag.N(); u++ {
+		for _, v := range dag.Succ(u) {
+			if v >= u {
+				t.Errorf("condensation edge %d -> %d violates reverse topological numbering", u, v)
+			}
+		}
+	}
+	// Condensation without a precomputed SCC should agree.
+	dag2 := g.Condensation(nil)
+	if dag2.N() != dag.N() {
+		t.Error("Condensation(nil) disagrees")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range should panic")
+		}
+	}()
+	g := New(1)
+	g.AddEdge(0, 5)
+}
+
+func TestFromAdjacency(t *testing.T) {
+	adj := [][]int{{1}, {}}
+	g := FromAdjacency(adj)
+	if g.N() != 2 {
+		t.Errorf("N = %d", g.N())
+	}
+	succ := g.Succ(0)
+	sort.Ints(succ)
+	if len(succ) != 1 || succ[0] != 1 {
+		t.Errorf("Succ(0) = %v", succ)
+	}
+}

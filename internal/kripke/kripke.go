@@ -1,0 +1,490 @@
+// Package kripke implements the labelled state-transition graphs (Kripke
+// structures) over which the logics of package logic are interpreted.
+//
+// A Structure follows Section 2 and Section 4 of Browne, Clarke and
+// Grumberg: it has a finite set of states, a total transition relation, a
+// distinguished initial state and a labelling that assigns to each state a
+// set of atomic propositions.  Propositions are either plain ("AP" in the
+// paper) or indexed by a process number ("IP × I"); the package also
+// maintains, for every indexed proposition P, the derived "exactly one"
+// proposition O_i P_i of Section 4.
+//
+// Structures are built with a Builder and are immutable afterwards, so they
+// can be shared freely.  The package also provides the structural operations
+// the paper relies on: restriction to the reachable part (needed to make the
+// mutual-exclusion transition graph a Kripke structure), the reduction M|i
+// that erases all indexed propositions except those of process i, and
+// re-indexing used when comparing reductions of structures with different
+// index sets.
+package kripke
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// State identifies a state of a Structure.  States are dense integers in
+// [0, NumStates).
+type State int
+
+// NoState is returned by operations that fail to find a state.
+const NoState State = -1
+
+// Prop is an atomic proposition: either a plain proposition (Indexed false)
+// or an indexed proposition P_Index (Indexed true).
+type Prop struct {
+	Name    string
+	Index   int
+	Indexed bool
+}
+
+// P returns the plain proposition named name.
+func P(name string) Prop { return Prop{Name: name} }
+
+// PI returns the indexed proposition name_index.
+func PI(name string, index int) Prop { return Prop{Name: name, Index: index, Indexed: true} }
+
+// String renders the proposition as "name" or "name[index]".
+func (p Prop) String() string {
+	if p.Indexed {
+		return p.Name + "[" + strconv.Itoa(p.Index) + "]"
+	}
+	return p.Name
+}
+
+// Less orders propositions: plain before indexed, then by name, then index.
+func (p Prop) Less(q Prop) bool {
+	if p.Indexed != q.Indexed {
+		return !p.Indexed
+	}
+	if p.Name != q.Name {
+		return p.Name < q.Name
+	}
+	return p.Index < q.Index
+}
+
+// Structure is an immutable Kripke structure.  The zero value is not usable;
+// construct structures with a Builder or one of the transformation methods.
+type Structure struct {
+	name    string
+	initial State
+
+	succ [][]State
+	pred [][]State
+
+	labels [][]Prop // sorted by Prop.Less, deduplicated
+	ones   [][]string
+
+	labelKeys []string
+
+	indexValues []int
+}
+
+// Name returns the structure's name (may be empty).
+func (m *Structure) Name() string { return m.name }
+
+// NumStates returns the number of states.
+func (m *Structure) NumStates() int { return len(m.succ) }
+
+// NumTransitions returns the number of transitions.
+func (m *Structure) NumTransitions() int {
+	n := 0
+	for _, ss := range m.succ {
+		n += len(ss)
+	}
+	return n
+}
+
+// Initial returns the initial state s0.
+func (m *Structure) Initial() State { return m.initial }
+
+// Succ returns the successors of s.  The returned slice must not be
+// modified.
+func (m *Structure) Succ(s State) []State { return m.succ[s] }
+
+// Pred returns the predecessors of s.  The returned slice must not be
+// modified.
+func (m *Structure) Pred(s State) []State { return m.pred[s] }
+
+// HasTransition reports whether there is a transition from s to t.
+func (m *Structure) HasTransition(s, t State) bool {
+	for _, u := range m.succ[s] {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Label returns the propositions holding in s, sorted.  The returned slice
+// must not be modified.
+func (m *Structure) Label(s State) []Prop { return m.labels[s] }
+
+// LabelKey returns a canonical string for the label of s (plain and indexed
+// propositions).  Two states have the same LabelKey iff they satisfy exactly
+// the same atomic propositions.  The derived "exactly one" propositions are
+// not part of the key; use LabelKeyWithOnes when they have been added to AP
+// (Section 4's extension) and must be respected by a correspondence.
+func (m *Structure) LabelKey(s State) string { return m.labelKeys[s] }
+
+// LabelKeyWithOnes returns LabelKey(s) extended with the truth values of the
+// "exactly one" propositions listed in oneProps.  The props must be sorted
+// or at least given in the same order for the two structures being compared.
+func (m *Structure) LabelKeyWithOnes(s State, oneProps []string) string {
+	if len(oneProps) == 0 {
+		return m.labelKeys[s]
+	}
+	var sb strings.Builder
+	sb.WriteString(m.labelKeys[s])
+	for _, p := range oneProps {
+		sb.WriteString("!one:")
+		sb.WriteString(p)
+		sb.WriteByte('=')
+		if m.ExactlyOne(s, p) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Holds reports whether proposition p is in the label of s.
+func (m *Structure) Holds(s State, p Prop) bool {
+	lbl := m.labels[s]
+	i := sort.Search(len(lbl), func(i int) bool { return !lbl[i].Less(p) })
+	return i < len(lbl) && lbl[i] == p
+}
+
+// ExactlyOne reports whether exactly one index value c has prop_c in the
+// label of s (the O_i prop_i atom of Section 4).
+func (m *Structure) ExactlyOne(s State, prop string) bool {
+	for _, o := range m.ones[s] {
+		if o == prop {
+			return true
+		}
+	}
+	return false
+}
+
+// OneProps returns the names of indexed propositions that hold for exactly
+// one index in state s, sorted.
+func (m *Structure) OneProps(s State) []string { return m.ones[s] }
+
+// IndexValues returns the index set I of the structure, sorted.  It is the
+// set of indices that appear in indexed propositions of any state, possibly
+// extended by the builder's DeclareIndex calls.
+func (m *Structure) IndexValues() []int { return m.indexValues }
+
+// States returns all states in increasing order.  The slice is fresh and may
+// be modified by the caller.
+func (m *Structure) States() []State {
+	out := make([]State, m.NumStates())
+	for i := range out {
+		out[i] = State(i)
+	}
+	return out
+}
+
+// IsTotal reports whether every state has at least one successor, as the
+// semantics of CTL* requires.
+func (m *Structure) IsTotal() bool {
+	for _, ss := range m.succ {
+		if len(ss) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DeadlockStates returns the states without successors, in increasing order.
+func (m *Structure) DeadlockStates() []State {
+	var out []State
+	for s, ss := range m.succ {
+		if len(ss) == 0 {
+			out = append(out, State(s))
+		}
+	}
+	return out
+}
+
+// AtomNames returns the plain proposition names used anywhere in the
+// structure, sorted.
+func (m *Structure) AtomNames() []string {
+	set := map[string]bool{}
+	for _, lbl := range m.labels {
+		for _, p := range lbl {
+			if !p.Indexed {
+				set[p.Name] = true
+			}
+		}
+	}
+	return sortedStrings(set)
+}
+
+// IndexedPropNames returns the indexed proposition names used anywhere in
+// the structure, sorted.
+func (m *Structure) IndexedPropNames() []string {
+	set := map[string]bool{}
+	for _, lbl := range m.labels {
+		for _, p := range lbl {
+			if p.Indexed {
+				set[p.Name] = true
+			}
+		}
+	}
+	return sortedStrings(set)
+}
+
+// Validate checks the structural invariants of the Kripke structure: the
+// initial state is in range, the transition relation is total, and every
+// transition endpoint is a valid state.  It returns nil if the structure is
+// well formed.
+func (m *Structure) Validate() error {
+	n := m.NumStates()
+	if n == 0 {
+		return fmt.Errorf("kripke: structure %q has no states", m.name)
+	}
+	if m.initial < 0 || int(m.initial) >= n {
+		return fmt.Errorf("kripke: structure %q: initial state %d out of range [0,%d)", m.name, m.initial, n)
+	}
+	for s, ss := range m.succ {
+		if len(ss) == 0 {
+			return fmt.Errorf("kripke: structure %q: state %d has no successors (relation must be total)", m.name, s)
+		}
+		for _, t := range ss {
+			if t < 0 || int(t) >= n {
+				return fmt.Errorf("kripke: structure %q: transition %d -> %d out of range", m.name, s, t)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+// Builder incrementally constructs a Structure.  The zero value is ready to
+// use.  Builders are not safe for concurrent use.
+type Builder struct {
+	name         string
+	states       [][]Prop
+	onesOverride map[State][]string
+	transitions  map[int64]struct{}
+	edges        [][2]State
+	initial      State
+	initialSet   bool
+	indexValues  map[int]bool
+}
+
+// NewBuilder returns a Builder for a structure with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:         name,
+		onesOverride: make(map[State][]string),
+		transitions:  make(map[int64]struct{}),
+		indexValues:  make(map[int]bool),
+	}
+}
+
+// SetOnes overrides the derived "exactly one" propositions of a state.  By
+// default the truth of O_i P_i is computed from the state's indexed label
+// (exactly one index value carries P); structures derived from *reduced*
+// labels (Section 4's M|i) no longer contain the other indices, so
+// operations such as quotienting must carry the original truth values over
+// explicitly.  Passing nil restores the derived behaviour.
+func (b *Builder) SetOnes(s State, props []string) error {
+	if int(s) < 0 || int(s) >= len(b.states) {
+		return fmt.Errorf("kripke: SetOnes: state %d out of range", s)
+	}
+	if props == nil {
+		delete(b.onesOverride, s)
+		return nil
+	}
+	cp := append([]string(nil), props...)
+	sort.Strings(cp)
+	b.onesOverride[s] = cp
+	return nil
+}
+
+// AddState adds a state labelled with props and returns its identifier.
+func (b *Builder) AddState(props ...Prop) State {
+	lbl := normalizeLabel(props)
+	b.states = append(b.states, lbl)
+	for _, p := range lbl {
+		if p.Indexed {
+			b.indexValues[p.Index] = true
+		}
+	}
+	return State(len(b.states) - 1)
+}
+
+// SetLabel replaces the label of an existing state.
+func (b *Builder) SetLabel(s State, props ...Prop) error {
+	if int(s) < 0 || int(s) >= len(b.states) {
+		return fmt.Errorf("kripke: SetLabel: state %d out of range", s)
+	}
+	lbl := normalizeLabel(props)
+	b.states[s] = lbl
+	for _, p := range lbl {
+		if p.Indexed {
+			b.indexValues[p.Index] = true
+		}
+	}
+	return nil
+}
+
+// AddTransition adds the transition from -> to.  Duplicate transitions are
+// ignored.  It returns an error if either endpoint does not exist yet.
+func (b *Builder) AddTransition(from, to State) error {
+	n := len(b.states)
+	if int(from) < 0 || int(from) >= n || int(to) < 0 || int(to) >= n {
+		return fmt.Errorf("kripke: AddTransition(%d, %d): state out of range [0,%d)", from, to, n)
+	}
+	key := int64(from)<<32 | int64(uint32(to))
+	if _, dup := b.transitions[key]; dup {
+		return nil
+	}
+	b.transitions[key] = struct{}{}
+	b.edges = append(b.edges, [2]State{from, to})
+	return nil
+}
+
+// SetInitial designates the initial state.
+func (b *Builder) SetInitial(s State) error {
+	if int(s) < 0 || int(s) >= len(b.states) {
+		return fmt.Errorf("kripke: SetInitial: state %d out of range", s)
+	}
+	b.initial = s
+	b.initialSet = true
+	return nil
+}
+
+// DeclareIndex records that index value i belongs to the index set I even if
+// no state labels a proposition with it (useful for processes that never
+// satisfy any indexed proposition in some reachable state).
+func (b *Builder) DeclareIndex(i int) { b.indexValues[i] = true }
+
+// NumStates returns the number of states added so far.
+func (b *Builder) NumStates() int { return len(b.states) }
+
+// Build finalises the structure.  It returns an error if no state was added,
+// if the initial state was never set, or if the transition relation is not
+// total.  Use BuildPartial to allow non-total relations (e.g. before a
+// reachability restriction).
+func (b *Builder) Build() (*Structure, error) {
+	m, err := b.BuildPartial()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildPartial finalises the structure without requiring the transition
+// relation to be total.  The paper's mutual-exclusion transition graph G_r is
+// of this kind: it only becomes a Kripke structure after restriction to the
+// states reachable from the initial state.
+func (b *Builder) BuildPartial() (*Structure, error) {
+	if len(b.states) == 0 {
+		return nil, fmt.Errorf("kripke: Build: structure %q has no states", b.name)
+	}
+	if !b.initialSet {
+		return nil, fmt.Errorf("kripke: Build: structure %q has no initial state", b.name)
+	}
+	n := len(b.states)
+	m := &Structure{
+		name:      b.name,
+		initial:   b.initial,
+		succ:      make([][]State, n),
+		pred:      make([][]State, n),
+		labels:    make([][]Prop, n),
+		ones:      make([][]string, n),
+		labelKeys: make([]string, n),
+	}
+	copy(m.labels, b.states)
+	for _, e := range b.edges {
+		m.succ[e[0]] = append(m.succ[e[0]], e[1])
+		m.pred[e[1]] = append(m.pred[e[1]], e[0])
+	}
+	for s := range m.succ {
+		sortStates(m.succ[s])
+		sortStates(m.pred[s])
+	}
+	for s := range m.labels {
+		if override, ok := b.onesOverride[State(s)]; ok {
+			m.ones[s] = override
+		} else {
+			m.ones[s] = computeOnes(m.labels[s])
+		}
+		m.labelKeys[s] = labelKey(m.labels[s])
+	}
+	m.indexValues = make([]int, 0, len(b.indexValues))
+	for i := range b.indexValues {
+		m.indexValues = append(m.indexValues, i)
+	}
+	sort.Ints(m.indexValues)
+	return m, nil
+}
+
+func sortStates(ss []State) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+}
+
+func normalizeLabel(props []Prop) []Prop {
+	if len(props) == 0 {
+		return nil
+	}
+	lbl := make([]Prop, len(props))
+	copy(lbl, props)
+	sort.Slice(lbl, func(i, j int) bool { return lbl[i].Less(lbl[j]) })
+	out := lbl[:1]
+	for _, p := range lbl[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// computeOnes returns the names of indexed propositions that appear with
+// exactly one index in the label, sorted.
+func computeOnes(lbl []Prop) []string {
+	counts := map[string]int{}
+	for _, p := range lbl {
+		if p.Indexed {
+			counts[p.Name]++
+		}
+	}
+	var out []string
+	for name, c := range counts {
+		if c == 1 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func labelKey(lbl []Prop) string {
+	var sb strings.Builder
+	for _, p := range lbl {
+		sb.WriteString(p.String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

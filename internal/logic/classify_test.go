@@ -1,0 +1,190 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsStateAndPathFormula(t *testing.T) {
+	tests := []struct {
+		text  string
+		state bool
+		path  bool
+	}{
+		{"p", true, true},
+		{"p & q", true, true},
+		{"E F p", true, true},
+		{"A G p", true, true},
+		{"F p", false, true},
+		{"p U q", false, true},
+		{"X p", false, true},
+		{"E (p U F q)", true, true},
+		{"(F p) & (G q)", false, true},
+		{"forall i . AG c[i]", true, true},
+		{"one t", true, true},
+		{"E ((F p) & (G q))", true, true},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.text)
+		if got := IsStateFormula(f); got != tt.state {
+			t.Errorf("IsStateFormula(%q) = %v, want %v", tt.text, got, tt.state)
+		}
+		if got := IsPathFormula(f); got != tt.path {
+			t.Errorf("IsPathFormula(%q) = %v, want %v", tt.text, got, tt.path)
+		}
+	}
+}
+
+func TestIsCTL(t *testing.T) {
+	tests := []struct {
+		text string
+		want bool
+	}{
+		{"p", true},
+		{"AG p", true},
+		{"EF (p & AG q)", true},
+		{"A (p U q)", true},
+		{"E (p U (q & E (r U p)))", true},
+		{"A (F (G p))", false},       // nested temporal without quantifier
+		{"E ((F p) & (F q))", false}, // boolean combination of path formulas
+		{"AG (EF p)", true},
+		{"forall i . AG(d[i] -> AF c[i])", true},
+		{"X p", false},
+		{"AX p", true},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.text)
+		if got := IsCTL(f); got != tt.want {
+			t.Errorf("IsCTL(%q) = %v, want %v", tt.text, got, tt.want)
+		}
+	}
+}
+
+func TestHasNextAndQuantifier(t *testing.T) {
+	if !HasNext(MustParse("AG (AX p)")) {
+		t.Error("HasNext should detect AX")
+	}
+	if HasNext(MustParse("AG (AF p)")) {
+		t.Error("HasNext false positive")
+	}
+	if !HasIndexedQuantifier(MustParse("forall i . c[i]")) {
+		t.Error("HasIndexedQuantifier should detect forall")
+	}
+	if HasIndexedQuantifier(MustParse("c[3] & d[4]")) {
+		t.Error("HasIndexedQuantifier false positive on instantiated atoms")
+	}
+}
+
+func TestFreeIndexVarsAndClosed(t *testing.T) {
+	tests := []struct {
+		text string
+		free []string
+	}{
+		{"d[i]", []string{"i"}},
+		{"forall i . d[i]", nil},
+		{"forall i . d[i] & c[j]", []string{"j"}},
+		{"exists i . (d[i] & c[i])", nil},
+		{"d[1]", nil},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.text)
+		got := FreeIndexVars(f)
+		if len(got) != len(tt.free) {
+			t.Errorf("FreeIndexVars(%q) = %v, want %v", tt.text, got, tt.free)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.free[i] {
+				t.Errorf("FreeIndexVars(%q) = %v, want %v", tt.text, got, tt.free)
+			}
+		}
+		if IsClosed(f) != (len(tt.free) == 0) {
+			t.Errorf("IsClosed(%q) inconsistent with free vars %v", tt.text, got)
+		}
+	}
+}
+
+func TestAtomCollectors(t *testing.T) {
+	f := MustParse("p & q & d[i] & c[3] & (one t) & (forall j . n[j])")
+	if got := AtomNames(f); strings.Join(got, ",") != "p,q" {
+		t.Errorf("AtomNames = %v", got)
+	}
+	if got := IndexedPropNames(f); strings.Join(got, ",") != "c,d,n" {
+		t.Errorf("IndexedPropNames = %v", got)
+	}
+	if got := OneProps(f); strings.Join(got, ",") != "t" {
+		t.Errorf("OneProps = %v", got)
+	}
+	if got := ConstantIndices(f); len(got) != 1 || got[0] != 3 {
+		t.Errorf("ConstantIndices = %v", got)
+	}
+}
+
+func TestCheckRestrictedAcceptsPaperProperties(t *testing.T) {
+	accepted := []string{
+		"!(exists i . EF(!d[i] & !t[i] & E[!d[i] U t[i]]))",
+		"forall i . AG(c[i] -> t[i])",
+		"forall i . AG(d[i] -> A[d[i] U t[i]])",
+		"forall i . AG(d[i] -> AF c[i])",
+		"forall i . AG(d[i] -> !E[d[i] U (!d[i] & !t[i])])",
+		"AG (one t)",
+	}
+	for _, text := range accepted {
+		f := MustParse(text)
+		if violations := CheckRestricted(f); len(violations) != 0 {
+			t.Errorf("CheckRestricted(%q) rejected a paper property: %v", text, violations)
+		}
+		if !IsRestricted(f) {
+			t.Errorf("IsRestricted(%q) = false", text)
+		}
+	}
+}
+
+func TestCheckRestrictedRejections(t *testing.T) {
+	tests := []struct {
+		text string
+		rule string
+	}{
+		{"AG (AX p)", RuleNoNext},
+		{"d[i]", RuleClosed},
+		{"AG c[2]", RuleNoConstantIndex},
+		{"exists i . (exists j . (c[i] & c[j]))", RuleNoNestedExists},
+		{"A ((exists i . c[i]) U p)", RuleNoQuantifierUntil},
+		{"AF (exists i . c[i])", RuleNoQuantifierUntil},
+		{"exists i . p", RuleSingleFreeVar},
+		{"F p", RuleStateFormula},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.text)
+		violations := CheckRestricted(f)
+		found := false
+		for _, v := range violations {
+			if v.Rule == tt.rule {
+				found = true
+				if v.Error() == "" {
+					t.Errorf("violation of %q has empty error text", tt.rule)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("CheckRestricted(%q): expected a %q violation, got %v", tt.text, tt.rule, violations)
+		}
+	}
+}
+
+func TestMaxQuantifierNesting(t *testing.T) {
+	tests := []struct {
+		text string
+		want int
+	}{
+		{"p", 0},
+		{"forall i . c[i]", 1},
+		{"exists i . (c[i] & EF (exists j . c[j]))", 2},
+		{"(forall i . c[i]) & (exists j . d[j])", 1},
+	}
+	for _, tt := range tests {
+		if got := MaxQuantifierNesting(MustParse(tt.text)); got != tt.want {
+			t.Errorf("MaxQuantifierNesting(%q) = %d, want %d", tt.text, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a formula in the package's concrete syntax.
+//
+// Grammar (loosest to tightest binding):
+//
+//	formula  := iff
+//	iff      := implies ( "<->" implies )*
+//	implies  := or ( "->" implies )?                    (right associative)
+//	or       := and ( "|" and )*
+//	and      := until ( "&" until )*
+//	until    := prefix ( ("U"|"R"|"W") until )?         (right associative)
+//	prefix   := ("!"|"A"|"E"|"X"|"F"|"G"|"AG"|"AF"|"AX"|"EG"|"EF"|"EX") prefix
+//	          | "forall" IDENT "." prefix
+//	          | "exists" IDENT "." prefix
+//	          | "one" IDENT
+//	          | primary
+//	primary  := "true" | "false"
+//	          | IDENT                                    (plain atom)
+//	          | IDENT "[" IDENT "]"                      (indexed atom, variable)
+//	          | IDENT "[" NUMBER "]"                     (indexed atom, constant)
+//	          | "(" formula ")"
+//
+// Examples:
+//
+//	forall i . AG(d[i] -> AF c[i])
+//	AG (one t)
+//	!(exists i . EF(!d[i] & !t[i] & E[!d[i] U t[i]]))
+//
+// Square brackets may also be used as ordinary grouping after a path
+// quantifier, as in "E[p U q]", mirroring the paper's notation.
+func Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is like Parse but panics on error.  It is intended for tests and
+// for package-level formula constants in example programs.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic("logic.MustParse(" + strconv.Quote(input) + "): " + err.Error())
+	}
+	return f
+}
+
+// ParseError describes a syntax error with its position in the input.
+type ParseError struct {
+	Input string // the full input text
+	Pos   int    // byte offset of the error
+	Msg   string // human readable description
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("logic: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokDot
+	tokNot
+	tokAnd
+	tokOr
+	tokImplies
+	tokIff
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '!' || c == '~':
+			toks = append(toks, token{tokNot, string(c), i})
+			i++
+		case c == '&':
+			i++
+			if i < len(input) && input[i] == '&' {
+				i++
+			}
+			toks = append(toks, token{tokAnd, "&", i})
+		case c == '|':
+			i++
+			if i < len(input) && input[i] == '|' {
+				i++
+			}
+			toks = append(toks, token{tokOr, "|", i})
+		case c == '-':
+			if i+1 < len(input) && input[i+1] == '>' {
+				toks = append(toks, token{tokImplies, "->", i})
+				i += 2
+			} else {
+				return nil, &ParseError{Input: input, Pos: i, Msg: "unexpected '-'"}
+			}
+		case c == '<':
+			if strings.HasPrefix(input[i:], "<->") {
+				toks = append(toks, token{tokIff, "<->", i})
+				i += 3
+			} else {
+				return nil, &ParseError{Input: input, Pos: i, Msg: "unexpected '<'"}
+			}
+		case c == '=':
+			if strings.HasPrefix(input[i:], "=>") {
+				toks = append(toks, token{tokImplies, "=>", i})
+				i += 2
+			} else {
+				return nil, &ParseError{Input: input, Pos: i, Msg: "unexpected '='"}
+			}
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, &ParseError{Input: input, Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+func (p *parser) backup()     { p.pos-- }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Input: p.input, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		p.backup()
+		return token{}, p.errorf("expected %s, found %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseIff() }
+
+func (p *parser) parseIff() (Formula, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIff {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		left = Equiv(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokImplies {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Imp(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	return Disj(parts...), nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	return Conj(parts...), nil
+}
+
+func (p *parser) parseUntil() (Formula, error) {
+	left, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokIdent {
+		switch t.text {
+		case "U", "R", "W":
+			p.next()
+			right, err := p.parseUntil()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "U":
+				return Until(left, right), nil
+			case "R":
+				return Release(left, right), nil
+			default:
+				return WeakUntil(left, right), nil
+			}
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrefix() (Formula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return Neg(f), nil
+	case tokIdent:
+		switch t.text {
+		case "A", "E", "X", "F", "G":
+			p.next()
+			f, err := p.parseQuantified()
+			if err != nil {
+				return nil, err
+			}
+			return applyPrefix(t.text, f), nil
+		case "AG", "AF", "AX", "EG", "EF", "EX":
+			p.next()
+			f, err := p.parseQuantified()
+			if err != nil {
+				return nil, err
+			}
+			inner := applyPrefix(t.text[1:], f)
+			return applyPrefix(t.text[:1], inner), nil
+		case "forall", "exists":
+			p.next()
+			v, err := p.expect(tokIdent, "index variable")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokDot, "'.'"); err != nil {
+				return nil, err
+			}
+			body, err := p.parsePrefix()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "forall" {
+				return ForallIdx(v.text, body), nil
+			}
+			return ExistsIdx(v.text, body), nil
+		case "one":
+			p.next()
+			prop, err := p.expect(tokIdent, "proposition name")
+			if err != nil {
+				return nil, err
+			}
+			return ExactlyOne(prop.text), nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+// parseQuantified parses the operand of a path quantifier / temporal prefix,
+// additionally accepting the paper's bracketed form, e.g. "E[p U q]".
+func (p *parser) parseQuantified() (Formula, error) {
+	if p.peek().kind == tokLBracket {
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return p.parsePrefix()
+}
+
+func applyPrefix(op string, f Formula) Formula {
+	switch op {
+	case "A":
+		return ForallPaths(f)
+	case "E":
+		return ExistsPath(f)
+	case "X":
+		return Next(f)
+	case "F":
+		return Eventually(f)
+	case "G":
+		return Always(f)
+	default:
+		return f
+	}
+}
+
+func (p *parser) parsePrimary() (Formula, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLParen:
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokLBracket:
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return True(), nil
+		case "false":
+			return False(), nil
+		}
+		// Possibly an indexed atom: name "[" index "]".
+		if p.peek().kind == tokLBracket {
+			p.next()
+			idx := p.next()
+			switch idx.kind {
+			case tokIdent:
+				if _, err := p.expect(tokRBracket, "']'"); err != nil {
+					return nil, err
+				}
+				return IdxProp(t.text, idx.text), nil
+			case tokNumber:
+				v, err := strconv.Atoi(idx.text)
+				if err != nil {
+					return nil, p.errorf("invalid index %q", idx.text)
+				}
+				if _, err := p.expect(tokRBracket, "']'"); err != nil {
+					return nil, err
+				}
+				return InstProp(t.text, v), nil
+			default:
+				p.backup()
+				return nil, p.errorf("expected index after %q[", t.text)
+			}
+		}
+		return Prop(t.text), nil
+	default:
+		p.backup()
+		return nil, p.errorf("expected a formula, found %q", t.text)
+	}
+}

@@ -1,0 +1,148 @@
+package logic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// The printer produces the same concrete syntax that Parse accepts, so
+// Parse(f.String()) is always Equal to f (a property test exercises this).
+//
+// Operator precedence, loosest to tightest:
+//
+//	<->   (iff)
+//	->    (implies, right associative)
+//	|     (or)
+//	&     (and)
+//	U R W (binary temporal, right associative)
+//	! A E X F G forall exists one   (prefix)
+
+const (
+	precIff = iota + 1
+	precImplies
+	precOr
+	precAnd
+	precUntil
+	precPrefix
+	precAtom
+)
+
+func precedence(f Formula) int {
+	switch f.(type) {
+	case *Iff:
+		return precIff
+	case *Implies:
+		return precImplies
+	case *Or:
+		return precOr
+	case *And:
+		return precAnd
+	case *U, *R, *W:
+		return precUntil
+	case *Not, *E, *A, *X, *Ev, *Alw, *ForallIndex, *ExistsIndex, *One:
+		return precPrefix
+	default:
+		return precAtom
+	}
+}
+
+// String renders the formula in the package's concrete syntax.
+func (c *Const) String() string {
+	if c.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// String renders the formula in the package's concrete syntax.
+func (a *Atom) String() string { return a.Name }
+
+// String renders the formula in the package's concrete syntax.
+func (a *IndexedAtom) String() string { return a.Prop + "[" + a.Var + "]" }
+
+// String renders the formula in the package's concrete syntax.
+func (a *InstAtom) String() string { return a.Prop + "[" + strconv.Itoa(a.Index) + "]" }
+
+// String renders the formula in the package's concrete syntax.
+func (o *One) String() string { return "one " + o.Prop }
+
+// String renders the formula in the package's concrete syntax.
+func (n *Not) String() string { return "!" + paren(n.F, precPrefix) }
+
+// String renders the formula in the package's concrete syntax.
+func (n *And) String() string { return joinNary(n.Fs, " & ", precAnd, "true") }
+
+// String renders the formula in the package's concrete syntax.
+func (n *Or) String() string { return joinNary(n.Fs, " | ", precOr, "false") }
+
+// String renders the formula in the package's concrete syntax.
+func (n *Implies) String() string {
+	return paren(n.L, precImplies+1) + " -> " + paren(n.R, precImplies)
+}
+
+// String renders the formula in the package's concrete syntax.
+func (n *Iff) String() string {
+	return paren(n.L, precIff+1) + " <-> " + paren(n.R, precIff+1)
+}
+
+// String renders the formula in the package's concrete syntax.
+func (n *E) String() string { return "E " + paren(n.F, precPrefix) }
+
+// String renders the formula in the package's concrete syntax.
+func (n *A) String() string { return "A " + paren(n.F, precPrefix) }
+
+// String renders the formula in the package's concrete syntax.
+func (n *X) String() string { return "X " + paren(n.F, precPrefix) }
+
+// String renders the formula in the package's concrete syntax.
+func (n *U) String() string {
+	return paren(n.L, precUntil+1) + " U " + paren(n.R, precUntil)
+}
+
+// String renders the formula in the package's concrete syntax.
+func (n *R) String() string {
+	return paren(n.L, precUntil+1) + " R " + paren(n.Rhs, precUntil)
+}
+
+// String renders the formula in the package's concrete syntax.
+func (n *W) String() string {
+	return paren(n.L, precUntil+1) + " W " + paren(n.R, precUntil)
+}
+
+// String renders the formula in the package's concrete syntax.
+func (n *Ev) String() string { return "F " + paren(n.F, precPrefix) }
+
+// String renders the formula in the package's concrete syntax.
+func (n *Alw) String() string { return "G " + paren(n.F, precPrefix) }
+
+// String renders the formula in the package's concrete syntax.
+func (n *ForallIndex) String() string {
+	return "forall " + n.Var + " . " + paren(n.Body, precPrefix)
+}
+
+// String renders the formula in the package's concrete syntax.
+func (n *ExistsIndex) String() string {
+	return "exists " + n.Var + " . " + paren(n.Body, precPrefix)
+}
+
+func paren(f Formula, minPrec int) string {
+	s := f.String()
+	if precedence(f) < minPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func joinNary(fs []Formula, sep string, prec int, empty string) string {
+	switch len(fs) {
+	case 0:
+		return empty
+	case 1:
+		return fs[0].String()
+	}
+	parts := make([]string, 0, len(fs))
+	for _, f := range fs {
+		parts = append(parts, paren(f, prec+1))
+	}
+	return strings.Join(parts, sep)
+}

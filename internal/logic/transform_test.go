@@ -1,0 +1,196 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDesugarBasicOperatorsOnly(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		f := randomFormula(r, 4, true)
+		d := Desugar(f)
+		Walk(d, func(g Formula) bool {
+			switch g.(type) {
+			case *A, *Implies, *Iff, *R, *W, *Ev, *Alw:
+				t.Fatalf("Desugar(%s) left a derived operator in %s", f, d)
+			}
+			return true
+		})
+	}
+}
+
+func TestDesugarKnownRewrites(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"A G p", "!E !!(true U !p)"},
+		{"F p", "true U p"},
+		{"p -> q", "!p | q"},
+		{"A (p U q)", "!E !(p U q)"},
+		{"p R q", "!(!p U !q)"},
+	}
+	for _, tt := range tests {
+		got := Desugar(MustParse(tt.in))
+		want := MustParse(tt.want)
+		if !Equal(got, want) {
+			t.Errorf("Desugar(%q) = %s, want %s", tt.in, got, want)
+		}
+	}
+}
+
+func TestNNFPushesNegationsToLeaves(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		f := randomFormula(r, 4, true)
+		n := NNF(f)
+		Walk(n, func(g Formula) bool {
+			if neg, ok := g.(*Not); ok {
+				switch neg.F.(type) {
+				case *Atom, *IndexedAtom, *InstAtom, *One, *Const:
+					// fine: negation applied to a leaf
+				default:
+					t.Fatalf("NNF(%s) kept a non-leaf negation: %s (inside %s)", f, neg, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestNNFKnownCases(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"!(p & q)", "!p | !q"},
+		{"!(p | q)", "!p & !q"},
+		{"!!p", "p"},
+		{"!(E (p U q))", "A (!p R !q)"},
+		{"!(forall i . c[i])", "exists i . !c[i]"},
+		{"!true", "false"},
+	}
+	for _, tt := range tests {
+		got := NNF(MustParse(tt.in))
+		want := MustParse(tt.want)
+		if !Equal(got, want) {
+			t.Errorf("NNF(%q) = %s, want %s", tt.in, got, want)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	f := MustParse("d[i] & (forall i . c[i]) & n[j]")
+	got := Substitute(f, "i", 5)
+	want := MustParse("d[5] & (forall i . c[i]) & n[j]")
+	if !Equal(got, want) {
+		t.Errorf("Substitute = %s, want %s", got, want)
+	}
+	got = Substitute(got, "j", 2)
+	want = MustParse("d[5] & (forall i . c[i]) & n[2]")
+	if !Equal(got, want) {
+		t.Errorf("Substitute = %s, want %s", got, want)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	f := MustParse("forall i . AG(d[i] -> AF c[i])")
+	got, err := Instantiate(f, []int{1, 2})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	want := MustParse("AG(d[1] -> AF c[1]) & AG(d[2] -> AF c[2])")
+	if !Equal(got, want) {
+		t.Errorf("Instantiate = %s, want %s", got, want)
+	}
+
+	g := MustParse("exists i . c[i]")
+	got, err = Instantiate(g, []int{3})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if !Equal(got, MustParse("c[3]")) {
+		t.Errorf("Instantiate single index = %s", got)
+	}
+
+	if _, err := Instantiate(MustParse("d[i]"), []int{1}); err == nil {
+		t.Error("Instantiate should reject formulas with free index variables")
+	}
+}
+
+func TestInstantiateEmptyIndexSet(t *testing.T) {
+	forall, err := Instantiate(MustParse("forall i . c[i]"), nil)
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if !Equal(forall, True()) {
+		t.Errorf("forall over empty index set should be true, got %s", forall)
+	}
+	exists, err := Instantiate(MustParse("exists i . c[i]"), nil)
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if !Equal(exists, False()) {
+		t.Errorf("exists over empty index set should be false, got %s", exists)
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"p & true", "p"},
+		{"p & false", "false"},
+		{"p | true", "true"},
+		{"p | false", "p"},
+		{"!!p", "p"},
+		{"!true", "false"},
+		{"(p & true) | (false & q)", "p"},
+		{"p -> q", "!p | q"},
+	}
+	for _, tt := range tests {
+		got := Simplify(MustParse(tt.in))
+		want := MustParse(tt.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %s, want %s", tt.in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"p &",
+		"(p",
+		"p)",
+		"d[",
+		"d[i",
+		"forall . p",
+		"forall i p",
+		"p -",
+		"p <- q",
+		"one",
+		"#",
+		"p @ q",
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", text)
+		} else if !strings.Contains(err.Error(), "parse error") && !strings.Contains(err.Error(), "expected") {
+			// All parse errors should come from ParseError.
+			t.Errorf("Parse(%q) returned an unexpected error type: %v", text, err)
+		}
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("((")
+}

@@ -1,0 +1,394 @@
+// Package mc implements explicit-state model checking for the logics of
+// package logic over the Kripke structures of package kripke.
+//
+// Two engines are provided behind a single API:
+//
+//   - the linear-time CTL labelling algorithm of Clarke, Emerson and Sistla
+//     (1986), which the paper uses in Section 5 to verify the mutual
+//     exclusion properties on the two-process ring, and
+//   - a full CTL* engine that handles arbitrary path formulas by the
+//     classical tableau construction (maximal state subformulas are replaced
+//     by fresh atoms, then E ψ is decided by searching the product of the
+//     structure with the tableau of ψ for a path into a self-fulfilling
+//     strongly connected component).
+//
+// Indexed CTL* formulas are evaluated on a concrete structure by
+// instantiating the ∧i / ∨i quantifiers over the structure's index set
+// (logic.Instantiate); the "exactly one" atoms O_i P_i are evaluated
+// directly from the structure's labelling.
+//
+// A Checker memoises the satisfaction set of every subformula it evaluates,
+// so repeated queries against the same structure are cheap.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// Checker evaluates formulas over a fixed Kripke structure.  A Checker is
+// not safe for concurrent use; create one per goroutine (they are cheap, the
+// underlying structure is shared).
+type Checker struct {
+	m     *kripke.Structure
+	cache map[string][]bool
+	stats Stats
+}
+
+// Stats reports work counters accumulated by a Checker.  They are used by
+// the experiment harness to compare the direct and the parameterized
+// verification routes.
+type Stats struct {
+	// StateSetsComputed counts distinct subformulas whose satisfaction set
+	// was computed (cache misses).
+	StateSetsComputed int
+	// FixpointIterations counts iterations of the EU/EG fixpoint loops.
+	FixpointIterations int
+	// TableauNodes counts nodes constructed across all tableau products.
+	TableauNodes int
+	// TableauRuns counts how many E-path formulas required the CTL* engine.
+	TableauRuns int
+	// CTLFastPath counts how many E-path formulas were CTL-shaped and used
+	// the labelling algorithm.
+	CTLFastPath int
+}
+
+// New returns a Checker for m.
+func New(m *kripke.Structure) *Checker {
+	return &Checker{m: m, cache: make(map[string][]bool)}
+}
+
+// Structure returns the structure the checker operates on.
+func (c *Checker) Structure() *kripke.Structure { return c.m }
+
+// Stats returns the accumulated work counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// Holds reports whether the closed formula f holds in the initial state of
+// the structure, i.e. whether M, s0 ⊨ f.
+func (c *Checker) Holds(f logic.Formula) (bool, error) {
+	return c.HoldsAt(f, c.m.Initial())
+}
+
+// HoldsAt reports whether f holds at state s.
+func (c *Checker) HoldsAt(f logic.Formula, s kripke.State) (bool, error) {
+	sat, err := c.Sat(f)
+	if err != nil {
+		return false, err
+	}
+	if int(s) < 0 || int(s) >= len(sat) {
+		return false, fmt.Errorf("mc: state %d out of range [0,%d)", s, len(sat))
+	}
+	return sat[s], nil
+}
+
+// Sat returns the satisfaction set of the state formula f: a slice indexed
+// by state that is true exactly at the states satisfying f.  Indexed
+// quantifiers are instantiated over the structure's index set first.  The
+// returned slice is shared with the checker's cache and must not be
+// modified.
+func (c *Checker) Sat(f logic.Formula) ([]bool, error) {
+	if f == nil {
+		return nil, fmt.Errorf("mc: nil formula")
+	}
+	inst := f
+	if logic.HasIndexedQuantifier(f) || len(logic.FreeIndexVars(f)) > 0 {
+		g, err := logic.Instantiate(f, c.m.IndexValues())
+		if err != nil {
+			return nil, err
+		}
+		inst = g
+	}
+	if !logic.IsStateFormula(inst) {
+		return nil, fmt.Errorf("mc: %s is not a state formula (wrap path formulas in A or E)", f)
+	}
+	return c.satState(inst)
+}
+
+// CountSat returns how many states satisfy f.
+func (c *Checker) CountSat(f logic.Formula) (int, error) {
+	sat, err := c.Sat(f)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, b := range sat {
+		if b {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SatStates returns the states satisfying f in increasing order.
+func (c *Checker) SatStates(f logic.Formula) ([]kripke.State, error) {
+	sat, err := c.Sat(f)
+	if err != nil {
+		return nil, err
+	}
+	var out []kripke.State
+	for s, b := range sat {
+		if b {
+			out = append(out, kripke.State(s))
+		}
+	}
+	return out, nil
+}
+
+// satState evaluates a state formula that contains no indexed quantifiers
+// and no free index variables.
+func (c *Checker) satState(f logic.Formula) ([]bool, error) {
+	key := logic.Key(f)
+	if sat, ok := c.cache[key]; ok {
+		return sat, nil
+	}
+	sat, err := c.computeState(f)
+	if err != nil {
+		return nil, err
+	}
+	c.cache[key] = sat
+	c.stats.StateSetsComputed++
+	return sat, nil
+}
+
+func (c *Checker) computeState(f logic.Formula) ([]bool, error) {
+	n := c.m.NumStates()
+	switch node := f.(type) {
+	case *logic.Const:
+		return constSet(n, node.Value), nil
+	case *logic.Atom:
+		return c.atomSet(kripke.P(node.Name)), nil
+	case *logic.InstAtom:
+		return c.atomSet(kripke.PI(node.Prop, node.Index)), nil
+	case *logic.IndexedAtom:
+		return nil, fmt.Errorf("mc: formula contains free indexed proposition %s", node)
+	case *logic.One:
+		sat := make([]bool, n)
+		for s := 0; s < n; s++ {
+			sat[s] = c.m.ExactlyOne(kripke.State(s), node.Prop)
+		}
+		return sat, nil
+	case *logic.Not:
+		inner, err := c.satState(node.F)
+		if err != nil {
+			return nil, err
+		}
+		return complement(inner), nil
+	case *logic.And:
+		sat := constSet(n, true)
+		for _, g := range node.Fs {
+			gs, err := c.satState(g)
+			if err != nil {
+				return nil, err
+			}
+			intersectInto(sat, gs)
+		}
+		return sat, nil
+	case *logic.Or:
+		sat := constSet(n, false)
+		for _, g := range node.Fs {
+			gs, err := c.satState(g)
+			if err != nil {
+				return nil, err
+			}
+			unionInto(sat, gs)
+		}
+		return sat, nil
+	case *logic.Implies:
+		return c.satState(logic.Disj(logic.Neg(node.L), node.R))
+	case *logic.Iff:
+		l, err := c.satState(node.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.satState(node.R)
+		if err != nil {
+			return nil, err
+		}
+		sat := make([]bool, n)
+		for s := range sat {
+			sat[s] = l[s] == r[s]
+		}
+		return sat, nil
+	case *logic.A:
+		// A p ≡ ¬ E ¬p.
+		inner, err := c.satExistsPath(logic.Neg(node.F))
+		if err != nil {
+			return nil, err
+		}
+		return complement(inner), nil
+	case *logic.E:
+		return c.satExistsPath(node.F)
+	case *logic.ForallIndex, *logic.ExistsIndex:
+		return nil, fmt.Errorf("mc: internal error: indexed quantifier survived instantiation in %s", f)
+	default:
+		return nil, fmt.Errorf("mc: %s is not a state formula (a bare temporal operator must be wrapped in A or E)", f)
+	}
+}
+
+// satExistsPath evaluates E p for a path formula p.  It takes the CTL fast
+// path when p is a single temporal operator over state formulas and falls
+// back to the tableau engine otherwise.
+func (c *Checker) satExistsPath(p logic.Formula) ([]bool, error) {
+	// E applied to a state formula adds nothing (every state starts some
+	// path when the relation is total; on partial structures we interpret
+	// E f over finite or infinite paths, which agrees for state formulas).
+	if logic.IsStateFormula(p) {
+		return c.satState(p)
+	}
+	if sat, ok, err := c.tryCTL(p); err != nil {
+		return nil, err
+	} else if ok {
+		c.stats.CTLFastPath++
+		return sat, nil
+	}
+	c.stats.TableauRuns++
+	return c.satExistsLTL(p)
+}
+
+// tryCTL recognises E applied to a single temporal operator whose operands
+// are state formulas and evaluates it with the labelling algorithm.  The
+// derived operators F, G, R and W are rewritten to EU/EG combinations first.
+func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
+	switch node := p.(type) {
+	case *logic.X:
+		if !logic.IsStateFormula(node.F) {
+			return nil, false, nil
+		}
+		inner, err := c.satState(node.F)
+		if err != nil {
+			return nil, false, err
+		}
+		return c.satEX(inner), true, nil
+	case *logic.U:
+		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.R) {
+			return nil, false, nil
+		}
+		l, err := c.satState(node.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, err := c.satState(node.R)
+		if err != nil {
+			return nil, false, err
+		}
+		return c.satEU(l, r), true, nil
+	case *logic.Ev:
+		if !logic.IsStateFormula(node.F) {
+			return nil, false, nil
+		}
+		r, err := c.satState(node.F)
+		if err != nil {
+			return nil, false, err
+		}
+		return c.satEU(constSet(c.m.NumStates(), true), r), true, nil
+	case *logic.Alw:
+		if !logic.IsStateFormula(node.F) {
+			return nil, false, nil
+		}
+		inner, err := c.satState(node.F)
+		if err != nil {
+			return nil, false, err
+		}
+		return c.satEG(inner), true, nil
+	case *logic.R:
+		// E[g R h] ≡ E[h U (g ∧ h)] ∨ EG h.
+		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.Rhs) {
+			return nil, false, nil
+		}
+		g, err := c.satState(node.L)
+		if err != nil {
+			return nil, false, err
+		}
+		h, err := c.satState(node.Rhs)
+		if err != nil {
+			return nil, false, err
+		}
+		both := intersect(g, h)
+		sat := c.satEU(h, both)
+		unionInto(sat, c.satEG(h))
+		return sat, true, nil
+	case *logic.W:
+		// E[g W h] ≡ E[g U h] ∨ EG g.
+		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.R) {
+			return nil, false, nil
+		}
+		g, err := c.satState(node.L)
+		if err != nil {
+			return nil, false, err
+		}
+		h, err := c.satState(node.R)
+		if err != nil {
+			return nil, false, err
+		}
+		sat := c.satEU(g, h)
+		unionInto(sat, c.satEG(g))
+		return sat, true, nil
+	case *logic.Not:
+		// E ¬q for a state formula q is a state formula; other negations go
+		// to the tableau.
+		if logic.IsStateFormula(node.F) {
+			inner, err := c.satState(node.F)
+			if err != nil {
+				return nil, false, err
+			}
+			return complement(inner), true, nil
+		}
+		return nil, false, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+func (c *Checker) atomSet(p kripke.Prop) []bool {
+	n := c.m.NumStates()
+	sat := make([]bool, n)
+	for s := 0; s < n; s++ {
+		sat[s] = c.m.Holds(kripke.State(s), p)
+	}
+	return sat
+}
+
+// ---------------------------------------------------------------------------
+// Boolean state-set helpers.
+// ---------------------------------------------------------------------------
+
+func constSet(n int, v bool) []bool {
+	sat := make([]bool, n)
+	if v {
+		for i := range sat {
+			sat[i] = true
+		}
+	}
+	return sat
+}
+
+func complement(in []bool) []bool {
+	out := make([]bool, len(in))
+	for i, b := range in {
+		out[i] = !b
+	}
+	return out
+}
+
+func intersect(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] && b[i]
+	}
+	return out
+}
+
+func intersectInto(dst, src []bool) {
+	for i := range dst {
+		dst[i] = dst[i] && src[i]
+	}
+}
+
+func unionInto(dst, src []bool) {
+	for i := range dst {
+		dst[i] = dst[i] || src[i]
+	}
+}

@@ -1,0 +1,112 @@
+package mc
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kripke"
+)
+
+// This file implements the CTL labelling algorithms (Clarke, Emerson,
+// Sistla 1986) on satisfaction sets represented as []bool indexed by state:
+//
+//	EX f     : states with a successor satisfying f
+//	E[f U g] : least fixpoint, computed backwards from the g states
+//	EG f     : states from which some infinite path stays in f forever,
+//	           computed from the nontrivial SCCs of the f-restricted graph
+//
+// The universal operators are obtained by duality in the checker.
+
+// satEX returns the states that have at least one successor in f.
+func (c *Checker) satEX(f []bool) []bool {
+	n := c.m.NumStates()
+	sat := make([]bool, n)
+	for s := 0; s < n; s++ {
+		for _, t := range c.m.Succ(kripke.State(s)) {
+			if f[t] {
+				sat[s] = true
+				break
+			}
+		}
+	}
+	return sat
+}
+
+// satEU returns the states satisfying E[f U g]: the least fixpoint of
+// Z = g ∪ (f ∩ EX Z), computed with a backwards worklist over predecessors.
+func (c *Checker) satEU(f, g []bool) []bool {
+	n := c.m.NumStates()
+	sat := make([]bool, n)
+	worklist := make([]kripke.State, 0, n)
+	for s := 0; s < n; s++ {
+		if g[s] {
+			sat[s] = true
+			worklist = append(worklist, kripke.State(s))
+		}
+	}
+	for len(worklist) > 0 {
+		c.stats.FixpointIterations++
+		t := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, s := range c.m.Pred(t) {
+			if !sat[s] && f[s] {
+				sat[s] = true
+				worklist = append(worklist, s)
+			}
+		}
+	}
+	return sat
+}
+
+// satEG returns the states satisfying EG f: the states in f from which some
+// infinite path remains in f forever.  The algorithm restricts the structure
+// to the f states, finds the nontrivial strongly connected components of the
+// restriction, and computes backwards reachability (within f) to them.
+func (c *Checker) satEG(f []bool) []bool {
+	n := c.m.NumStates()
+	// Build the f-restricted graph (same vertex numbering; edges only
+	// between f states).
+	g := graph.New(n)
+	for s := 0; s < n; s++ {
+		if !f[s] {
+			continue
+		}
+		for _, t := range c.m.Succ(kripke.State(s)) {
+			if f[t] {
+				g.AddEdge(s, int(t))
+			}
+		}
+	}
+	scc := g.SCC()
+	// Seed: every f state inside a nontrivial SCC of the restriction.
+	seed := make([]bool, n)
+	for comp := 0; comp < scc.NumComponents(); comp++ {
+		if scc.IsTrivial(g, comp) {
+			continue
+		}
+		for _, v := range scc.Components[comp] {
+			if f[v] {
+				seed[v] = true
+			}
+		}
+	}
+	// Backwards reachability within f to the seed.
+	sat := make([]bool, n)
+	var worklist []kripke.State
+	for s := 0; s < n; s++ {
+		if seed[s] {
+			sat[s] = true
+			worklist = append(worklist, kripke.State(s))
+		}
+	}
+	for len(worklist) > 0 {
+		c.stats.FixpointIterations++
+		t := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, s := range c.m.Pred(t) {
+			if !sat[s] && f[s] {
+				sat[s] = true
+				worklist = append(worklist, s)
+			}
+		}
+	}
+	return sat
+}

@@ -1,0 +1,128 @@
+package paperfig
+
+import (
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/logic"
+	"repro/internal/mc"
+)
+
+func TestFig31RealisesTheStatedDegrees(t *testing.T) {
+	left, right, err := Fig31()
+	if err != nil {
+		t.Fatalf("Fig31: %v", err)
+	}
+	if err := left.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := bisim.Compute(left, right, bisim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Corresponds() {
+		t.Fatal("the Fig 3.1 structures must correspond")
+	}
+	names := Fig31Names()
+	if d, ok := res.Relation.Degree(names.S1, names.S1pp); !ok || d != 0 {
+		t.Errorf("degree(s1, s1'') = %d,%v want 0", d, ok)
+	}
+	if d, ok := res.Relation.Degree(names.S1, names.S1p); !ok || d != 2 {
+		t.Errorf("degree(s1, s1') = %d,%v want 2", d, ok)
+	}
+}
+
+func TestFig41CountingFormulaCountsProcesses(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		m, err := Fig41(n)
+		if err != nil {
+			t.Fatalf("Fig41(%d): %v", n, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Fig41(%d) invalid: %v", n, err)
+		}
+		if m.NumStates() != 1<<n {
+			t.Errorf("Fig41(%d) has %d states, want %d", n, m.NumStates(), 1<<n)
+		}
+		checker := mc.New(m)
+		for k := 1; k <= 5; k++ {
+			f := Fig41CountingFormula(k)
+			holds, err := checker.Holds(f)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if want := n >= k; holds != want {
+				t.Errorf("counting formula depth %d on %d processes = %v, want %v", k, n, holds, want)
+			}
+		}
+	}
+	if _, err := Fig41(0); err == nil {
+		t.Error("Fig41(0) should fail")
+	}
+}
+
+func TestFig41CountingFormulaViolatesTheRestriction(t *testing.T) {
+	if !logic.IsRestricted(Fig41CountingFormula(1)) {
+		t.Error("depth 1 has no nesting and is restricted")
+	}
+	for k := 2; k <= 4; k++ {
+		f := Fig41CountingFormula(k)
+		violations := logic.CheckRestricted(f)
+		if len(violations) == 0 {
+			t.Errorf("depth-%d counting formula should violate the Section 4 restrictions", k)
+		}
+	}
+}
+
+func TestFig41RestrictedFormulasAreSizeIndependent(t *testing.T) {
+	// Theorem 5's point: restricted formulas cannot distinguish sizes (we
+	// check sizes 2..4; size 1 is degenerate because "the other process"
+	// does not exist).
+	var truth [][]bool
+	for n := 2; n <= 4; n++ {
+		m, err := Fig41(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker := mc.New(m)
+		var row []bool
+		for _, f := range Fig41RestrictedFormulas() {
+			if violations := logic.CheckRestricted(f); len(violations) != 0 {
+				t.Fatalf("battery formula %s is not restricted: %v", f, violations)
+			}
+			holds, err := checker.Holds(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row = append(row, holds)
+		}
+		truth = append(truth, row)
+	}
+	for i := 1; i < len(truth); i++ {
+		for j := range truth[i] {
+			if truth[i][j] != truth[0][j] {
+				t.Errorf("restricted formula %d changes truth between sizes: %v vs %v",
+					j, truth[0][j], truth[i][j])
+			}
+		}
+	}
+}
+
+func TestFig51MatchesThePaper(t *testing.T) {
+	inst, err := Fig51()
+	if err != nil {
+		t.Fatalf("Fig51: %v", err)
+	}
+	if inst.M.NumStates() != Fig51ExpectedStates {
+		t.Errorf("states = %d, want %d", inst.M.NumStates(), Fig51ExpectedStates)
+	}
+	if inst.M.NumTransitions() != Fig51ExpectedTransitions {
+		t.Errorf("transitions = %d, want %d", inst.M.NumTransitions(), Fig51ExpectedTransitions)
+	}
+	if dot := inst.M.DOT(); len(dot) == 0 {
+		t.Error("DOT export should produce output")
+	}
+}
