@@ -238,6 +238,41 @@ func BenchmarkMaximalCorrespondence(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRefinedVsFixpoint is the ablation behind the refinement
+// engine (DESIGN.md §2): the same maximal-correspondence query answered by
+// the partition-refinement engine (Compute) and by the original
+// nested-fixpoint oracle (ComputeFixpoint), on the reductions the cutoff
+// correspondence actually compares.
+func BenchmarkEngineRefinedVsFixpoint(b *testing.B) {
+	small, err := ring.Build(ring.CutoffSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
+	for _, r := range []int{4, 6, 8} {
+		large, err := ring.Build(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		left := small.M.ReduceNormalized(1)
+		right := large.M.ReduceNormalized(1)
+		b.Run(fmt.Sprintf("refined/r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bisim.Compute(left, right, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fixpoint/r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bisim.ComputeFixpoint(left, right, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkRelationCheck(b *testing.B) {
 	small, err := ring.Build(2)
 	if err != nil {

@@ -1,17 +1,24 @@
 // Command experiments regenerates every table and figure of the
-// reproduction (the data recorded in EXPERIMENTS.md).
+// reproduction (the data recorded in EXPERIMENTS.md) on a worker pool, and
+// runs ring-size sweeps through the partition-refinement correspondence
+// engine.
 //
 // Usage:
 //
-//	experiments            # print all tables as plain text
-//	experiments -markdown  # print all tables as markdown (EXPERIMENTS.md form)
-//	experiments -only E6   # run a single experiment by identifier
+//	experiments                  # run E1..E9 on the pool, print in order
+//	experiments -markdown        # print the tables as markdown (EXPERIMENTS.md form)
+//	experiments -only E6         # run a single experiment by identifier
+//	experiments -stream          # print each table the moment it finishes
+//	experiments -workers 2       # cap the worker pool
+//	experiments -sweep 4,6,8,10  # decide the cutoff correspondence per size, streaming verdicts
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -19,27 +26,108 @@ import (
 func main() {
 	markdown := flag.Bool("markdown", false, "render the tables as markdown")
 	only := flag.String("only", "", "run only the experiment with this identifier (e.g. E1, E6, E7)")
+	stream := flag.Bool("stream", false, "print each table as soon as its experiment finishes (completion order)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	sweep := flag.String("sweep", "", "comma separated ring sizes: decide the cutoff correspondence for each, streaming results")
 	flag.Parse()
 
-	tables, err := experiments.All()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+	runner := experiments.Runner{Workers: *workers}
+	if *sweep != "" {
+		os.Exit(runSweep(runner, *sweep, *markdown))
 	}
-	printed := 0
-	for _, tbl := range tables {
-		if *only != "" && tbl.ID != *only {
-			continue
-		}
+
+	render := func(tbl *experiments.Table) {
 		if *markdown {
 			fmt.Println(tbl.Markdown())
 		} else {
 			fmt.Println(tbl.Text())
 		}
-		printed++
 	}
-	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: no experiment named %q\n", *only)
+
+	jobs := experiments.StandardJobs()
+	if *only != "" {
+		var filtered []experiments.Job
+		for _, j := range jobs {
+			if j.ID == *only {
+				filtered = append(filtered, j)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: no experiment named %q\n", *only)
+			os.Exit(2)
+		}
+		jobs = filtered
+	}
+
+	if *stream {
+		failed := false
+		for o := range runner.Stream(jobs) {
+			if o.Err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.ID, o.Err)
+				failed = true
+				continue
+			}
+			fmt.Printf("# %s finished in %s\n", o.ID, o.Elapsed.Round(1000))
+			render(o.Table)
+		}
+		if failed {
+			os.Exit(2)
+		}
+		return
+	}
+
+	tables, err := runner.Collect(jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
+	for _, tbl := range tables {
+		render(tbl)
+	}
+}
+
+// runSweep decides the cutoff correspondence for every requested ring size,
+// printing each verdict as it streams in and a sorted summary table at the
+// end.
+func runSweep(runner experiments.Runner, spec string, markdown bool) int {
+	var sizes []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.Atoi(part)
+		if err != nil || r < 2 {
+			fmt.Fprintf(os.Stderr, "experiments: bad ring size %q\n", part)
+			return 2
+		}
+		sizes = append(sizes, r)
+	}
+	if len(sizes) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -sweep needs at least one ring size")
+		return 2
+	}
+	failed := false
+	var rows []experiments.SweepRow
+	for row := range runner.CorrespondenceSweep(sizes) {
+		if row.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: r=%d: %v\n", row.R, row.Err)
+			failed = true
+			continue
+		}
+		fmt.Printf("r=%-4d states=%-8d corresponds=%-5v max degree=%-3d build=%-12s decide=%s\n",
+			row.R, row.States, row.Corresponds, row.MaxDegree, row.BuildElapsed.Round(1000), row.DecideElapsed.Round(1000))
+		rows = append(rows, row)
+	}
+	if failed {
+		return 2
+	}
+	tbl := experiments.SweepRowsTable(rows)
+	fmt.Println()
+	if markdown {
+		fmt.Println(tbl.Markdown())
+	} else {
+		fmt.Println(tbl.Text())
+	}
+	return 0
 }

@@ -6,6 +6,7 @@
 //	ictlcheck -model structure.km -formula "forall i . AG(d[i] -> AF c[i])"
 //	ictlcheck -model structure.km -formulas specs.txt      # one formula per line
 //	ictlcheck -model structure.km -formula "AG p" -witness # print a witness/counterexample
+//	ictlcheck -model structure.km -formula "AG p" -minimize # check on the verified bisimulation quotient
 //
 // The exit status is 0 when every formula holds, 1 when at least one fails,
 // and 2 on usage or input errors.
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bisim"
 	"repro/internal/kripke"
 	"repro/internal/logic"
 	"repro/internal/mc"
@@ -34,6 +36,7 @@ func run() int {
 	witness := flag.Bool("witness", false, "print a witness or counterexample for CTL-shaped formulas")
 	checkRestricted := flag.Bool("restricted", false, "also report whether each formula lies in restricted ICTL*")
 	makeTotal := flag.Bool("make-total", false, "add self loops to deadlock states before checking")
+	minimize := flag.Bool("minimize", false, "quotient the structure by its maximal self-correspondence before checking (CTL*-X truth is preserved; X and -witness refer to the quotient)")
 	flag.Parse()
 
 	if *modelPath == "" || (*formulaText == "" && *formulasPath == "") {
@@ -75,6 +78,17 @@ func run() int {
 	}
 
 	checker := mc.New(m)
+	if *minimize {
+		reduced, minres, err := mc.NewMinimized(m, bisim.Options{})
+		if minres == nil {
+			fmt.Printf("minimize: checking the original structure (%v)\n", err)
+		} else {
+			fmt.Printf("minimize: %d states -> %d quotient states (quotient verified to correspond)\n",
+				m.NumStates(), minres.Quotient.NumStates())
+			checker = reduced
+			m = minres.Quotient
+		}
+	}
 	allHold := true
 	for _, text := range formulas {
 		formula, err := logic.Parse(text)

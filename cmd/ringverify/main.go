@@ -102,7 +102,6 @@ func counterexampleShape(f logic.Formula, inst *ring.Instance) logic.Formula {
 }
 
 func runCorrespondence(inst *ring.Instance) {
-	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
 	for _, small := range []int{2, ring.CutoffSize} {
 		if small > inst.R {
 			continue
@@ -112,13 +111,7 @@ func runCorrespondence(inst *ring.Instance) {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return
 		}
-		var in []bisim.IndexPair
-		if small == 2 {
-			in = ring.IndexRelation(small, inst.R)
-		} else {
-			in = ring.CutoffIndexRelation(small, inst.R)
-		}
-		res, err := bisim.IndexedCompute(smallInst.M, inst.M, in, opts)
+		res, err := ring.DecideCorrespondence(smallInst, inst)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return

@@ -1,10 +1,11 @@
-package bisim
+package bisim_test
 
 import (
 	"encoding/json"
 	"math/rand"
 	"testing"
 
+	"repro/internal/bisim"
 	"repro/internal/kripke"
 	"repro/internal/logic"
 	"repro/internal/mc"
@@ -58,7 +59,7 @@ func build(t *testing.T, b *kripke.Builder) *kripke.Structure {
 }
 
 func TestRelationBasics(t *testing.T) {
-	r := NewRelation(3, 2)
+	r := bisim.NewRelation(3, 2)
 	if r.Size() != 0 {
 		t.Error("new relation should be empty")
 	}
@@ -98,14 +99,14 @@ func TestRelationBasics(t *testing.T) {
 }
 
 func TestRelationJSONRoundTrip(t *testing.T) {
-	r := NewRelation(2, 3)
+	r := bisim.NewRelation(2, 3)
 	r.Set(0, 0, 0)
 	r.Set(1, 2, 4)
 	data, err := json.Marshal(r)
 	if err != nil {
 		t.Fatalf("Marshal: %v", err)
 	}
-	decoded, err := UnmarshalRelationJSON(data)
+	decoded, err := bisim.UnmarshalRelationJSON(data)
 	if err != nil {
 		t.Fatalf("Unmarshal: %v", err)
 	}
@@ -115,16 +116,16 @@ func TestRelationJSONRoundTrip(t *testing.T) {
 	if d, ok := decoded.Degree(1, 2); !ok || d != 4 {
 		t.Errorf("decoded degree = %d,%v", d, ok)
 	}
-	if _, err := UnmarshalRelationJSON([]byte("{")); err == nil {
+	if _, err := bisim.UnmarshalRelationJSON([]byte("{")); err == nil {
 		t.Error("invalid JSON should fail")
 	}
-	if _, err := UnmarshalRelationJSON([]byte(`{"n":0,"n2":1,"pairs":[]}`)); err == nil {
+	if _, err := bisim.UnmarshalRelationJSON([]byte(`{"n":0,"n2":1,"pairs":[]}`)); err == nil {
 		t.Error("invalid dimensions should fail")
 	}
-	if _, err := UnmarshalRelationJSON([]byte(`{"n":1,"n2":1,"pairs":[{"s":5,"t":0,"degree":0}]}`)); err == nil {
+	if _, err := bisim.UnmarshalRelationJSON([]byte(`{"n":1,"n2":1,"pairs":[{"s":5,"t":0,"degree":0}]}`)); err == nil {
 		t.Error("out-of-range pair should fail")
 	}
-	if _, err := UnmarshalRelationJSON([]byte(`{"n":1,"n2":1,"pairs":[{"s":0,"t":0,"degree":-1}]}`)); err == nil {
+	if _, err := bisim.UnmarshalRelationJSON([]byte(`{"n":1,"n2":1,"pairs":[{"s":0,"t":0,"degree":-1}]}`)); err == nil {
 		t.Error("negative degree should fail")
 	}
 }
@@ -133,9 +134,9 @@ func TestStutterInsensitiveCorrespondence(t *testing.T) {
 	base := twoStateCycle(t)
 	for stutter := 0; stutter <= 3; stutter++ {
 		other := stutteredCycle(t, stutter)
-		res, err := Compute(base, other, Options{})
+		res, err := bisim.Compute(base, other, bisim.Options{})
 		if err != nil {
-			t.Fatalf("Compute: %v", err)
+			t.Fatalf("bisim.Compute: %v", err)
 		}
 		if !res.Corresponds() {
 			t.Fatalf("cycle and %d-stuttered cycle should correspond", stutter)
@@ -147,7 +148,7 @@ func TestStutterInsensitiveCorrespondence(t *testing.T) {
 		}
 		// The computed maximal correspondence must satisfy the definitional
 		// check as well.
-		if violations := Check(base, other, res.Relation, Options{}); len(violations) != 0 {
+		if violations := bisim.Check(base, other, res.Relation, bisim.Options{}); len(violations) != 0 {
 			t.Errorf("maximal correspondence fails its own check: %v", violations)
 		}
 	}
@@ -159,9 +160,9 @@ func TestFig31StyleDegrees(t *testing.T) {
 	// exactly; s1' (right, state 0) corresponds to s1 with degree 2.
 	left := twoStateCycle(t)
 	right := stutteredCycle(t, 2)
-	res, err := Compute(left, right, Options{})
+	res, err := bisim.Compute(left, right, bisim.Options{})
 	if err != nil {
-		t.Fatalf("Compute: %v", err)
+		t.Fatalf("bisim.Compute: %v", err)
 	}
 	if d, ok := res.Relation.Degree(0, 2); !ok || d != 0 {
 		t.Errorf("s1/s1'' degree = %d (ok=%v), want 0", d, ok)
@@ -183,9 +184,9 @@ func TestDifferentLabelsDoNotCorrespond(t *testing.T) {
 	must(t, b.AddTransition(s0, s0))
 	must(t, b.SetInitial(s0))
 	other := build(t, b)
-	res, err := Compute(twoStateCycle(t), other, Options{})
+	res, err := bisim.Compute(twoStateCycle(t), other, bisim.Options{})
 	if err != nil {
-		t.Fatalf("Compute: %v", err)
+		t.Fatalf("bisim.Compute: %v", err)
 	}
 	if res.Corresponds() {
 		t.Error("structures with disjoint labels must not correspond")
@@ -213,9 +214,9 @@ func TestDivergenceIsDistinguished(t *testing.T) {
 	must(t, b2.SetInitial(t0))
 	progressing := build(t, b2)
 
-	res, err := Compute(diverging, progressing, Options{})
+	res, err := bisim.Compute(diverging, progressing, bisim.Options{})
 	if err != nil {
-		t.Fatalf("Compute: %v", err)
+		t.Fatalf("bisim.Compute: %v", err)
 	}
 	if res.Corresponds() {
 		t.Error("a structure that can reach b must not correspond to one that cannot (EF b differs)")
@@ -258,9 +259,9 @@ func TestFiniteStutterVersusPureDivergence(t *testing.T) {
 	must(t, b2.SetInitial(da))
 	divergent := build(t, b2)
 
-	res, err := Compute(finite, divergent, Options{})
+	res, err := bisim.Compute(finite, divergent, bisim.Options{})
 	if err != nil {
-		t.Fatalf("Compute: %v", err)
+		t.Fatalf("bisim.Compute: %v", err)
 	}
 	if res.Corresponds() {
 		t.Error("AF b distinguishes the structures, so they must not correspond")
@@ -319,9 +320,9 @@ func TestTheorem2OnRandomStructures(t *testing.T) {
 	for iter := 0; iter < 120; iter++ {
 		m1 := randomLabelledStructure(r, 2+r.Intn(4), "left")
 		m2 := randomLabelledStructure(r, 2+r.Intn(4), "right")
-		res, err := Compute(m1, m2, Options{ReachableOnly: true})
+		res, err := bisim.Compute(m1, m2, bisim.Options{ReachableOnly: true})
 		if err != nil {
-			t.Fatalf("Compute: %v", err)
+			t.Fatalf("bisim.Compute: %v", err)
 		}
 		// For Theorem 2 only the initial states matter; totality over
 		// unreachable states is irrelevant, hence ReachableOnly above.
@@ -357,8 +358,8 @@ func TestTheorem2OnRandomStructures(t *testing.T) {
 	}
 }
 
-// TestCorrespondenceIsCheckable: for random pairs, whatever Compute returns
-// must pass Check (when the structures correspond), and Check must reject a
+// TestCorrespondenceIsCheckable: for random pairs, whatever bisim.Compute returns
+// must pass bisim.Check (when the structures correspond), and bisim.Check must reject a
 // deliberately corrupted relation.
 func TestComputeCheckAgreement(t *testing.T) {
 	r := rand.New(rand.NewSource(77))
@@ -366,16 +367,16 @@ func TestComputeCheckAgreement(t *testing.T) {
 	for iter := 0; iter < 60 && checked < 10; iter++ {
 		m1 := randomLabelledStructure(r, 2+r.Intn(3), "left")
 		m2 := randomLabelledStructure(r, 2+r.Intn(3), "right")
-		res, err := Compute(m1, m2, Options{ReachableOnly: true})
+		res, err := bisim.Compute(m1, m2, bisim.Options{ReachableOnly: true})
 		if err != nil {
-			t.Fatalf("Compute: %v", err)
+			t.Fatalf("bisim.Compute: %v", err)
 		}
 		if !res.Corresponds() {
 			continue
 		}
 		checked++
-		if violations := Check(m1, m2, res.Relation, Options{ReachableOnly: true}); len(violations) != 0 {
-			t.Fatalf("computed correspondence fails Check: %v", violations)
+		if violations := bisim.Check(m1, m2, res.Relation, bisim.Options{ReachableOnly: true}); len(violations) != 0 {
+			t.Fatalf("computed correspondence fails bisim.Check: %v", violations)
 		}
 		// Corrupt the relation by claiming an exact match (degree 0) for the
 		// pair with the largest degree; if every degree is already 0 the
@@ -383,15 +384,15 @@ func TestComputeCheckAgreement(t *testing.T) {
 		if res.Relation.MaxDegree() == 0 {
 			continue
 		}
-		var worst Pair
+		var worst bisim.Pair
 		for _, p := range res.Relation.Pairs() {
 			if p.Degree > worst.Degree {
 				worst = p
 			}
 		}
 		res.Relation.Set(worst.S, worst.T, 0)
-		if violations := Check(m1, m2, res.Relation, Options{ReachableOnly: true}); len(violations) == 0 {
-			t.Fatalf("corrupted relation (pair %v forced to degree 0) should fail Check", worst)
+		if violations := bisim.Check(m1, m2, res.Relation, bisim.Options{ReachableOnly: true}); len(violations) == 0 {
+			t.Fatalf("corrupted relation (pair %v forced to degree 0) should fail bisim.Check", worst)
 		}
 	}
 	if checked == 0 {
@@ -404,14 +405,14 @@ func TestCheckDetectsBadRelations(t *testing.T) {
 	right := stutteredCycle(t, 1)
 
 	// Wrong dimensions.
-	if v := Check(left, right, NewRelation(1, 1), Options{}); len(v) == 0 {
+	if v := bisim.Check(left, right, bisim.NewRelation(1, 1), bisim.Options{}); len(v) == 0 {
 		t.Error("dimension mismatch should be reported")
 	}
 
 	// Label clash: relate the 'a' state to the 'b' state.
-	rel := NewRelation(left.NumStates(), right.NumStates())
+	rel := bisim.NewRelation(left.NumStates(), right.NumStates())
 	rel.Set(0, 2, 0)
-	violations := Check(left, right, rel, Options{})
+	violations := bisim.Check(left, right, rel, bisim.Options{})
 	foundLabel, foundInitial, foundTotal := false, false, false
 	for _, v := range violations {
 		switch v.Clause {
@@ -437,10 +438,10 @@ func TestCheckDetectsBadRelations(t *testing.T) {
 	}
 
 	// Negative degree.
-	rel2 := NewRelation(left.NumStates(), right.NumStates())
+	rel2 := bisim.NewRelation(left.NumStates(), right.NumStates())
 	rel2.Set(0, 0, -3)
 	found := false
-	for _, v := range Check(left, right, rel2, Options{}) {
+	for _, v := range bisim.Check(left, right, rel2, bisim.Options{}) {
 		if v.Clause == "degree" {
 			found = true
 		}
@@ -452,12 +453,12 @@ func TestCheckDetectsBadRelations(t *testing.T) {
 
 func TestMinimizeCollapsesStutterChain(t *testing.T) {
 	m := stutteredCycle(t, 3)
-	res, err := Minimize(m, Options{})
+	res, err := bisim.Minimize(m, bisim.Options{})
 	if err != nil {
-		t.Fatalf("Minimize: %v", err)
+		t.Fatalf("bisim.Minimize: %v", err)
 	}
 	if !res.Verified {
-		t.Error("Minimize should verify its own output")
+		t.Error("bisim.Minimize should verify its own output")
 	}
 	if res.Quotient.NumStates() >= m.NumStates() {
 		t.Errorf("quotient has %d states, original %d — no reduction", res.Quotient.NumStates(), m.NumStates())
@@ -509,9 +510,9 @@ func TestMinimizeCollapsesStutterChain(t *testing.T) {
 
 func TestMinimizeIdempotentOnMinimalStructure(t *testing.T) {
 	m := twoStateCycle(t)
-	res, err := Minimize(m, Options{})
+	res, err := bisim.Minimize(m, bisim.Options{})
 	if err != nil {
-		t.Fatalf("Minimize: %v", err)
+		t.Fatalf("bisim.Minimize: %v", err)
 	}
 	if res.Quotient.NumStates() != m.NumStates() {
 		t.Errorf("already-minimal structure should not shrink, got %d states", res.Quotient.NumStates())
@@ -540,18 +541,18 @@ func TestIndexedCorrespondence(t *testing.T) {
 	m2 := build1("m2", 5, 1)
 
 	in := []bisimIndexPairAlias{{1, 5}, {2, 1}}
-	res, err := IndexedCompute(m1, m2, toIndexPairs(in), Options{})
+	res, err := bisim.IndexedCompute(m1, m2, toIndexPairs(in), bisim.Options{})
 	if err != nil {
-		t.Fatalf("IndexedCompute: %v", err)
+		t.Fatalf("bisim.IndexedCompute: %v", err)
 	}
 	if !res.Corresponds() {
 		t.Fatalf("role-matching IN relation should indexed-correspond: failing pairs %v", res.FailingPairs())
 	}
 
 	// An IN relation that is not total on the right must be rejected.
-	res2, err := IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 5}, {2, 5}}), Options{})
+	res2, err := bisim.IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 5}, {2, 5}}), bisim.Options{})
 	if err != nil {
-		t.Fatalf("IndexedCompute: %v", err)
+		t.Fatalf("bisim.IndexedCompute: %v", err)
 	}
 	if res2.Corresponds() {
 		t.Error("IN relation missing index 1 of the right structure should not yield a correspondence")
@@ -563,9 +564,9 @@ func TestIndexedCorrespondence(t *testing.T) {
 	// Pairing the roles the wrong way round must fail: the reduction of a
 	// withdrawing process satisfies AF !w, the reduction of a persisting one
 	// does not.
-	res3, err := IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 1}, {2, 5}}), Options{})
+	res3, err := bisim.IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 1}, {2, 5}}), bisim.Options{})
 	if err != nil {
-		t.Fatalf("IndexedCompute: %v", err)
+		t.Fatalf("bisim.IndexedCompute: %v", err)
 	}
 	if res3.Corresponds() {
 		t.Error("role-mismatched index pairing should not correspond")
@@ -574,22 +575,22 @@ func TestIndexedCorrespondence(t *testing.T) {
 		t.Error("FailingPairs should name the mismatched pairs")
 	}
 
-	if _, err := IndexedCompute(m1, m2, nil, Options{}); err == nil {
+	if _, err := bisim.IndexedCompute(m1, m2, nil, bisim.Options{}); err == nil {
 		t.Error("empty IN relation should be an error")
 	}
 
-	ok, err := IndexedCorrespond(m1, m2, toIndexPairs(in), Options{})
+	ok, err := bisim.IndexedCorrespond(m1, m2, toIndexPairs(in), bisim.Options{})
 	if err != nil || !ok {
-		t.Errorf("IndexedCorrespond = %v, %v", ok, err)
+		t.Errorf("bisim.IndexedCorrespond = %v, %v", ok, err)
 	}
 }
 
 type bisimIndexPairAlias struct{ i, i2 int }
 
-func toIndexPairs(in []bisimIndexPairAlias) []IndexPair {
-	out := make([]IndexPair, 0, len(in))
+func toIndexPairs(in []bisimIndexPairAlias) []bisim.IndexPair {
+	out := make([]bisim.IndexPair, 0, len(in))
 	for _, p := range in {
-		out = append(out, IndexPair{I: p.i, I2: p.i2})
+		out = append(out, bisim.IndexPair{I: p.i, I2: p.i2})
 	}
 	return out
 }
@@ -607,11 +608,11 @@ func TestDefaultIndexRelation(t *testing.T) {
 	must(t, b2.SetInitial(s2))
 	large := build(t, b2)
 
-	in := DefaultIndexRelation(small, large)
+	in := bisim.DefaultIndexRelation(small, large)
 	if len(in) != 4 {
-		t.Fatalf("DefaultIndexRelation returned %d pairs, want 4", len(in))
+		t.Fatalf("bisim.DefaultIndexRelation returned %d pairs, want 4", len(in))
 	}
-	if in[0] != (IndexPair{I: 1, I2: 1}) {
+	if in[0] != (bisim.IndexPair{I: 1, I2: 1}) {
 		t.Errorf("first pair = %v", in[0])
 	}
 	covered := map[int]bool{}
@@ -623,8 +624,8 @@ func TestDefaultIndexRelation(t *testing.T) {
 			t.Errorf("index %d of the large structure is not covered", i)
 		}
 	}
-	if got := DefaultIndexRelation(small, build(t, noIndexBuilder(t))); got != nil {
-		t.Errorf("DefaultIndexRelation with an unindexed structure = %v, want nil", got)
+	if got := bisim.DefaultIndexRelation(small, build(t, noIndexBuilder(t))); got != nil {
+		t.Errorf("bisim.DefaultIndexRelation with an unindexed structure = %v, want nil", got)
 	}
 }
 
@@ -656,14 +657,14 @@ func TestOnePropsAffectLabelComparison(t *testing.T) {
 
 	redA := oneW.ReduceNormalized(1)
 	redB := twoW.ReduceNormalized(1)
-	plain, err := Correspond(redA, redB, Options{})
+	plain, err := bisim.Correspond(redA, redB, bisim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !plain {
 		t.Fatal("reductions should correspond when the O_i atom is ignored")
 	}
-	withOne, err := Correspond(redA, redB, Options{OneProps: []string{"w"}})
+	withOne, err := bisim.Correspond(redA, redB, bisim.Options{OneProps: []string{"w"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -675,7 +676,7 @@ func TestOnePropsAffectLabelComparison(t *testing.T) {
 func TestComputeErrors(t *testing.T) {
 	m := twoStateCycle(t)
 	empty := &kripke.Structure{}
-	if _, err := Compute(empty, m, Options{}); err == nil {
-		t.Error("Compute with an empty structure should fail")
+	if _, err := bisim.Compute(empty, m, bisim.Options{}); err == nil {
+		t.Error("bisim.Compute with an empty structure should fail")
 	}
 }

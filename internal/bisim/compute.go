@@ -38,7 +38,9 @@ type Result struct {
 	TotalLeft  bool
 	TotalRight bool
 	// OuterIterations and DegreeRounds are work counters for the experiment
-	// harness.
+	// harness.  For the refinement engine OuterIterations counts the
+	// refinement/divergence passes plus the final pruning rounds; for the
+	// nested-fixpoint oracle it counts the outer pruning rounds alone.
 	OuterIterations int
 	DegreeRounds    int
 }
@@ -53,11 +55,41 @@ func (r *Result) Corresponds() bool {
 }
 
 // Compute returns the maximal correspondence between m and m2 under opts.
+//
+// Two engines implement the decision procedure behind this API.  The
+// default is the partition-refinement engine of refine.go, which refines an
+// initial label partition of the disjoint union with a splitter queue
+// instead of pruning label-equal state pairs, and is asymptotically far
+// cheaper on structures with many states per label class.  Setting
+// Options.MaxDegreeRounds selects the original nested-fixpoint procedure
+// (ComputeFixpoint), which is the only engine whose semantics depend on
+// that bound.  Both produce identical relations and minimal degrees; the
+// differential tests in refine_test.go assert it.
 func Compute(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 	if n == 0 || n2 == 0 {
 		return nil, fmt.Errorf("bisim: Compute: structures must be non-empty (got %d and %d states)", n, n2)
 	}
+	if opts.MaxDegreeRounds > 0 {
+		return computeFixpoint(m, m2, opts)
+	}
+	return computeRefined(m, m2, opts)
+}
+
+// ComputeFixpoint runs the original nested-fixpoint decision procedure on
+// the label-equal candidate pair set.  It is retained as the cross-check
+// oracle for the partition-refinement engine and as the engine honouring
+// Options.MaxDegreeRounds; new callers should use Compute.
+func ComputeFixpoint(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+	n, n2 := m.NumStates(), m2.NumStates()
+	if n == 0 || n2 == 0 {
+		return nil, fmt.Errorf("bisim: Compute: structures must be non-empty (got %d and %d states)", n, n2)
+	}
+	return computeFixpoint(m, m2, opts)
+}
+
+func computeFixpoint(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+	n, n2 := m.NumStates(), m2.NumStates()
 
 	// Candidate relation: label-equal pairs.
 	leftKeys := make([]string, n)
@@ -69,17 +101,31 @@ func Compute(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 		rightKeys[t] = opts.labelOf(m2, kripke.State(t))
 	}
 	inR := make([]bool, n*n2)
-	pairCount := 0
 	for s := 0; s < n; s++ {
 		base := s * n2
 		for t := 0; t < n2; t++ {
 			if leftKeys[s] == rightKeys[t] {
 				inR[base+t] = true
-				pairCount++
 			}
 		}
 	}
+	return pruneAndFinish(m, m2, inR, opts, &Result{}, computeDegrees)
+}
 
+// degreesFunc assigns minimal degrees for the pairs of inR; computeDegrees
+// is the reference implementation, computeDegreesFast (refine.go) the
+// worklist-scheduled one the refinement engine uses.
+type degreesFunc func(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) int
+
+// pruneAndFinish is the tail shared by both engines: starting from the
+// candidate set inR it repeatedly assigns minimal degrees and removes pairs
+// without a finite degree until the set is stable (the greatest fixpoint),
+// then packages the relation, the initial-state verdict and the totality
+// flags.  The nested-fixpoint engine seeds it with every label-equal pair;
+// the refinement engine seeds it with the (normally already stable) pairs
+// read off the refined partition, so the loop body runs exactly once there.
+func pruneAndFinish(m, m2 *kripke.Structure, inR []bool, opts Options, res *Result, degrees degreesFunc) (*Result, error) {
+	n, n2 := m.NumStates(), m2.NumStates()
 	maxRounds := opts.MaxDegreeRounds
 	if maxRounds <= 0 {
 		// The paper bounds the minimal degree by |S| + |S'|; we allow up to
@@ -88,11 +134,10 @@ func Compute(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 		maxRounds = n*n2 + 1
 	}
 
-	res := &Result{}
 	deg := make([]int, n*n2)
 	for {
 		res.OuterIterations++
-		rounds := computeDegrees(m, m2, inR, deg, maxRounds)
+		rounds := degrees(m, m2, inR, deg, maxRounds)
 		res.DegreeRounds += rounds
 		removed := false
 		for i, ok := range inR {
@@ -106,6 +151,14 @@ func Compute(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 		}
 	}
 
+	return finishResult(m, m2, inR, deg, opts, res)
+}
+
+// finishResult packages a stable candidate set and its degrees into a
+// Result: the explicit relation, the clause-1 verdict on the initial states
+// and the totality flags.
+func finishResult(m, m2 *kripke.Structure, inR []bool, deg []int, opts Options, res *Result) (*Result, error) {
+	n, n2 := m.NumStates(), m2.NumStates()
 	rel := NewRelation(n, n2)
 	for s := 0; s < n; s++ {
 		for t := 0; t < n2; t++ {
@@ -140,13 +193,13 @@ func totality(m, m2 *kripke.Structure, rel *Relation, opts Options) (left, right
 	}
 	left, right = true, true
 	for _, s := range leftStates {
-		if len(rel.RelatedLeft(s)) == 0 {
+		if !rel.anyRelatedLeft(s) {
 			left = false
 			break
 		}
 	}
 	for _, t := range rightStates {
-		if len(rel.RelatedRight(t)) == 0 {
+		if !rel.anyRelatedRight(t) {
 			right = false
 			break
 		}

@@ -2,7 +2,10 @@ package bisim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kripke"
 )
@@ -104,22 +107,75 @@ func DefaultIndexRelation(m, m2 *kripke.Structure) []IndexPair {
 
 // IndexedCompute checks the (i, i')-correspondence of the reductions for
 // every pair of the IN relation, using Compute on the normalised reductions.
+// The pairs are independent of one another, so they are decided on a worker
+// pool sized to the machine; the result is deterministic regardless of
+// scheduling.
 func IndexedCompute(m, m2 *kripke.Structure, in []IndexPair, opts Options) (*IndexedResult, error) {
 	if len(in) == 0 {
 		return nil, fmt.Errorf("bisim: IndexedCompute: empty index relation")
 	}
-	res := &IndexedResult{Pairs: make(map[IndexPair]*Result, len(in))}
+	// Deduplicate while preserving first occurrence, and build the
+	// normalised reductions once per index value (the IN relations of
+	// interest pair one small index with every large index, so reductions
+	// repeat heavily).
+	var todo []IndexPair
+	seen := make(map[IndexPair]bool, len(in))
+	leftRed := make(map[int]*kripke.Structure)
+	rightRed := make(map[int]*kripke.Structure)
 	for _, p := range in {
-		if _, done := res.Pairs[p]; done {
+		if seen[p] {
 			continue
 		}
-		ri := m.ReduceNormalized(p.I)
-		rj := m2.ReduceNormalized(p.I2)
-		r, err := Compute(ri, rj, opts)
-		if err != nil {
-			return nil, fmt.Errorf("bisim: IndexedCompute(%d,%d): %w", p.I, p.I2, err)
+		seen[p] = true
+		todo = append(todo, p)
+		if _, ok := leftRed[p.I]; !ok {
+			leftRed[p.I] = m.ReduceNormalized(p.I)
 		}
-		res.Pairs[p] = r
+		if _, ok := rightRed[p.I2]; !ok {
+			rightRed[p.I2] = m2.ReduceNormalized(p.I2)
+		}
+	}
+
+	results := make([]*Result, len(todo))
+	errs := make([]error, len(todo))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(todo) {
+					return
+				}
+				p := todo[k]
+				r, err := Compute(leftRed[p.I], rightRed[p.I2], opts)
+				if err != nil {
+					errs[k] = fmt.Errorf("bisim: IndexedCompute(%d,%d): %w", p.I, p.I2, err)
+					return
+				}
+				results[k] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	for k := range todo {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+	}
+	res := &IndexedResult{Pairs: make(map[IndexPair]*Result, len(todo))}
+	for k, p := range todo {
+		res.Pairs[p] = results[k]
 	}
 	res.INTotalLeft, res.INTotalRight = indexTotality(m, m2, in)
 	return res, nil

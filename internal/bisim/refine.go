@@ -1,0 +1,783 @@
+package bisim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kripke"
+)
+
+// This file implements the partition-refinement engine behind Compute.
+//
+// The nested-fixpoint procedure of compute.go works on label-equal state
+// *pairs* — O(|S|·|S'|) of them — and re-derives every pair's degree each
+// time a pair is discarded.  This engine instead computes the same maximal
+// correspondence as a *partition* of the disjoint union of the two state
+// sets, in the style of Paige–Tarjan and Groote–Vaandrager: the maximal
+// correspondence is exactly the stuttering equivalence of Browne, Clarke and
+// Grumberg's companion paper ("Characterizing Kripke structures in temporal
+// logic", 1987), and stuttering equivalence is the coarsest refinement of
+// the label partition that is
+//
+//   - stable: for any two blocks B ≠ B', either every state of B or no
+//     state of B can reach B' by a path that stays inside B, and
+//   - divergence-consistent: within a block, either every state or no state
+//     can stutter forever (follow an infinite path that never leaves the
+//     block) — the clause that makes the relation sensitive to infinite
+//     stuttering, mirroring the finite-degree requirement of the pair view.
+//
+// The engine preprocesses the union graph by contracting its silent SCCs
+// (strongly connected components of the subgraph whose edges connect
+// label-equal states): all states of such a component are trivially
+// equivalent, every one of them can stutter forever, and after contraction
+// the inside of every block is acyclic, so the reachability closures used by
+// the splits terminate without cycle checks.  Blocks and splitter sets are
+// kripke.BitSet values, so the split arithmetic (intersection with the
+// splitter's predecessor set, subtraction of the reachable part) is
+// word-parallel; for moderate sizes the transition relation itself is kept
+// as bitset rows (kripke.TransitionMatrix).
+//
+// Once the partition is stable the candidate relation "same block" is handed
+// to the shared pruneAndFinish tail, which assigns the minimal degrees with
+// the same inner fixpoint the legacy engine uses — so the two engines return
+// bit-identical results — and defensively re-prunes (a no-op when the
+// partition is exact, a safety net otherwise).
+
+// maxDenseMatrixStates bounds the contracted-graph size for which the
+// engine keeps bitset successor/predecessor rows.  Building the rows costs
+// O(cN²/64) words up front, which only pays off while the graph is small
+// relative to the splitter traffic; past the threshold the engine uses the
+// adjacency lists for the row operations (block and splitter sets stay
+// bitsets regardless, so the split arithmetic itself is always
+// word-parallel).
+const maxDenseMatrixStates = 1 << 10
+
+type refiner struct {
+	cN      int       // contracted (silent-SCC) node count
+	cSucc   [][]int32 // contracted adjacency, no self edges
+	cPred   [][]int32
+	mat     *kripke.TransitionMatrix // bitset rows over contracted nodes, nil when too large
+	divMask kripke.BitSet            // contracted nodes with an internal silent cycle
+
+	blockOf []int32
+	blocks  []*rblock
+	queue   []int32
+	inQueue []bool
+
+	// Scratch state for refineAgainst, reused across splitter pops so the
+	// hottest loop allocates nothing: dpScratch holds the splitter's direct
+	// predecessors, candScratch the candidate block list, and candStamp
+	// (one entry per block, grown like inQueue) marks candidates of the
+	// current pop, identified by stamp.
+	dpScratch   kripke.BitSet
+	candScratch []int32
+	candStamp   []int32
+	stamp       int32
+}
+
+type rblock struct {
+	set  kripke.BitSet // members, over contracted nodes
+	size int
+}
+
+// computeRefined computes the maximal correspondence between m and m2 by
+// partition refinement of their disjoint union.
+func computeRefined(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+	n, n2 := m.NumStates(), m2.NumStates()
+	N := n + n2
+
+	// Canonical label of every union state, interned to dense ids.  The
+	// interning key combines the structure's cached label key (no string is
+	// built) with the truth bits of the "exactly one" atoms, which is
+	// exactly the comparison Options.labelOf performs.
+	oneProps := opts.normalizedOneProps()
+	type labelKey struct {
+		key  string
+		ones uint64
+	}
+	if len(oneProps) > 64 {
+		// The bit-packed key below would overflow; nothing realistic has
+		// this many indexed propositions, so just take the slow oracle.
+		return computeFixpoint(m, m2, opts)
+	}
+	onesBits := func(st *kripke.Structure, s kripke.State) uint64 {
+		var bits uint64
+		for j, p := range oneProps {
+			if st.ExactlyOne(s, p) {
+				bits |= 1 << uint(j)
+			}
+		}
+		return bits
+	}
+	labelID := make([]int32, N)
+	intern := make(map[labelKey]int32)
+	internKey := func(key labelKey) int32 {
+		id, ok := intern[key]
+		if !ok {
+			id = int32(len(intern))
+			intern[key] = id
+		}
+		return id
+	}
+	for s := 0; s < n; s++ {
+		labelID[s] = internKey(labelKey{m.LabelKey(kripke.State(s)), onesBits(m, kripke.State(s))})
+	}
+	for t := 0; t < n2; t++ {
+		labelID[n+t] = internKey(labelKey{m2.LabelKey(kripke.State(t)), onesBits(m2, kripke.State(t))})
+	}
+
+	// Union successor iteration (second structure offset by n), without
+	// materialising a combined adjacency.
+	unionSucc := func(u int) []kripke.State {
+		if u < n {
+			return m.Succ(kripke.State(u))
+		}
+		return m2.Succ(kripke.State(u - n))
+	}
+	offset := func(u int) int {
+		if u < n {
+			return 0
+		}
+		return n
+	}
+
+	// Contract the silent SCCs: components of the subgraph whose edges stay
+	// within one label class.  The adjacency is built flat (counting pass,
+	// then fill) to avoid per-state slice growth.
+	silentCount := make([]int, N)
+	totalSilent := 0
+	for u := 0; u < N; u++ {
+		off := offset(u)
+		for _, v := range unionSucc(u) {
+			if labelID[u] == labelID[off+int(v)] {
+				silentCount[u]++
+				totalSilent++
+			}
+		}
+	}
+	silentAdj := make([][]int, N)
+	silentBacking := make([]int, totalSilent)
+	pos := 0
+	for u := 0; u < N; u++ {
+		silentAdj[u] = silentBacking[pos : pos : pos+silentCount[u]]
+		pos += silentCount[u]
+		off := offset(u)
+		for _, v := range unionSucc(u) {
+			if labelID[u] == labelID[off+int(v)] {
+				silentAdj[u] = append(silentAdj[u], off+int(v))
+			}
+		}
+	}
+	comp, cN := graph.FromAdjacency(silentAdj).SCCComp()
+	compSize := make([]int32, cN)
+	compLabel := make([]int32, cN)
+	for u := 0; u < N; u++ {
+		compSize[comp[u]]++
+		compLabel[comp[u]] = labelID[u]
+	}
+
+	r := &refiner{cN: cN, divMask: kripke.NewBitSet(cN), dpScratch: kripke.NewBitSet(cN)}
+	for c := 0; c < cN; c++ {
+		if compSize[c] > 1 {
+			r.divMask.Set(c) // a multi-state silent SCC contains a silent cycle
+		}
+	}
+	// Contracted adjacency, counting pass then fill.  Parallel edges between
+	// two components are kept: every consumer either dedups through a bitset
+	// or tolerates revisits, and skipping a dedup map here is cheaper.
+	succCount := make([]int, cN)
+	predCount := make([]int, cN)
+	totalEdges := 0
+	for u := 0; u < N; u++ {
+		cu := comp[u]
+		off := offset(u)
+		for _, v := range unionSucc(u) {
+			uv := off + int(v)
+			cv := comp[uv]
+			if cu == cv {
+				if u == uv {
+					r.divMask.Set(cu) // silent self loop
+				}
+				continue
+			}
+			succCount[cu]++
+			predCount[cv]++
+			totalEdges++
+		}
+	}
+	r.cSucc = make([][]int32, cN)
+	r.cPred = make([][]int32, cN)
+	succBacking := make([]int32, totalEdges)
+	predBacking := make([]int32, totalEdges)
+	sPos, pPos := 0, 0
+	for c := 0; c < cN; c++ {
+		r.cSucc[c] = succBacking[sPos : sPos : sPos+succCount[c]]
+		sPos += succCount[c]
+		r.cPred[c] = predBacking[pPos : pPos : pPos+predCount[c]]
+		pPos += predCount[c]
+	}
+	for u := 0; u < N; u++ {
+		cu := comp[u]
+		off := offset(u)
+		for _, v := range unionSucc(u) {
+			cv := comp[off+int(v)]
+			if cu == cv {
+				continue
+			}
+			r.cSucc[cu] = append(r.cSucc[cu], int32(cv))
+			r.cPred[cv] = append(r.cPred[cv], int32(cu))
+		}
+	}
+	if cN <= maxDenseMatrixStates {
+		r.mat = kripke.NewTransitionMatrix(cN)
+		for u, vs := range r.cSucc {
+			for _, v := range vs {
+				r.mat.Add(u, int(v))
+			}
+		}
+	}
+
+	// Initial partition: one block per label class.
+	r.blockOf = make([]int32, cN)
+	blockByLabel := make(map[int32]int32)
+	for c := 0; c < cN; c++ {
+		lbl := compLabel[c]
+		bid, ok := blockByLabel[lbl]
+		if !ok {
+			bid = int32(len(r.blocks))
+			blockByLabel[lbl] = bid
+			r.blocks = append(r.blocks, &rblock{set: kripke.NewBitSet(cN)})
+			r.inQueue = append(r.inQueue, false)
+			r.candStamp = append(r.candStamp, 0)
+		}
+		r.blocks[bid].set.Set(c)
+		r.blocks[bid].size++
+		r.blockOf[c] = bid
+	}
+	res := &Result{}
+	for bid := range r.blocks {
+		r.enqueue(int32(bid))
+	}
+	for {
+		res.OuterIterations++
+		r.drain()
+		if !r.divergencePass() {
+			break
+		}
+	}
+
+	// Per-union-state block id: s ~ t iff stateBlock[s] == stateBlock[n+t].
+	stateBlock := make([]int32, N)
+	for u := 0; u < N; u++ {
+		stateBlock[u] = r.blockOf[comp[u]]
+	}
+
+	// Minimal degrees.  With few enough blocks the successor-block set of a
+	// state fits one machine word, pairs live in a compact table indexed per
+	// right state, and the clause checks degenerate to bit tests
+	// (maskedFinish); otherwise, or in the never-expected case that a pair
+	// turns out to have no finite degree (the refinement would have
+	// over-approximated), fall back to the generic prune-and-assign loop,
+	// which handles any candidate set.
+	if len(r.blocks) <= maskDegreeBlockLimit {
+		if out, ok := maskedFinish(m, m2, stateBlock, len(r.blocks), opts, res); ok {
+			return out, nil
+		}
+	}
+	inR := make([]bool, n*n2)
+	for s := 0; s < n; s++ {
+		base := s * n2
+		for t := 0; t < n2; t++ {
+			if stateBlock[s] == stateBlock[n+t] {
+				inR[base+t] = true
+			}
+		}
+	}
+	return pruneAndFinish(m, m2, inR, opts, res, computeDegreesFast)
+}
+
+// maskDegreeBlockLimit is the block count up to which maskedFinish packs a
+// state's successor-block set into a uint64 (a test hook lowers it to force
+// the generic path).
+var maskDegreeBlockLimit = 64
+
+// maskedFinish assigns the minimal degree of every pair of the same-block
+// relation and packages the Result, exploiting that the candidate set is a
+// partition with at most 64 blocks:
+//
+//   - pairs live in a compact table — right state t owns the slots
+//     [pairBase[t], pairBase[t]+len(lefts of t's block)) — so the working
+//     arrays are proportional to the relation, not to |S|·|S'|, and stay
+//     cache-resident;
+//   - a pair (s, t) lies in a single block b, a stuttering move is a
+//     successor inside b, and a matched move only needs the mover's block
+//     to appear among the other side's successor blocks — a one-bit test
+//     against the per-state successor-block mask;
+//   - re-examination is scheduled by the same worklist rule as
+//     computeDegreesFast, so the assigned degrees are identical to the
+//     reference computeDegrees.
+//
+// It reports ok=false if some pair received no finite degree (meaning the
+// refinement over-approximated, which the theory rules out but the caller
+// still guards), in which case the generic pruning loop takes over.
+func maskedFinish(m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, opts Options, res *Result) (*Result, bool) {
+	n, n2 := m.NumStates(), m2.NumStates()
+
+	// Left states of every block, and each left state's rank in its block.
+	blockLefts := make([][]int32, numBlocks)
+	rank := make([]int32, n)
+	for s := 0; s < n; s++ {
+		b := stateBlock[s]
+		rank[s] = int32(len(blockLefts[b]))
+		blockLefts[b] = append(blockLefts[b], int32(s))
+	}
+	// Compact pair table.
+	pairBase := make([]int32, n2)
+	total := 0
+	for t := 0; t < n2; t++ {
+		pairBase[t] = int32(total)
+		total += len(blockLefts[stateBlock[n+t]])
+	}
+	pairS := make([]int32, total)
+	pairT := make([]int32, total)
+	for t := 0; t < n2; t++ {
+		off := pairBase[t]
+		for j, s := range blockLefts[stateBlock[n+t]] {
+			pairS[off+int32(j)] = s
+			pairT[off+int32(j)] = int32(t)
+		}
+	}
+
+	// Successor-block mask of every union state.
+	masks := make([]uint64, n+n2)
+	for s := 0; s < n; s++ {
+		for _, v := range m.Succ(kripke.State(s)) {
+			masks[s] |= 1 << uint(stateBlock[v])
+		}
+	}
+	for t := 0; t < n2; t++ {
+		for _, v := range m2.Succ(kripke.State(t)) {
+			masks[n+t] |= 1 << uint(stateBlock[n+int(v)])
+		}
+	}
+
+	// In-block (stuttering) successor and predecessor lists.  All degree
+	// references in the clauses are stuttering moves, so only these edges
+	// ever need per-pair work; flat backing, counting pass first.
+	ibSuccOf := func(u int) []kripke.State {
+		if u < n {
+			return m.Succ(kripke.State(u))
+		}
+		return m2.Succ(kripke.State(u - n))
+	}
+	N := n + n2
+	ibsCount := make([]int32, N)
+	ibpCount := make([]int32, N)
+	ibTotal := 0
+	for u := 0; u < N; u++ {
+		off := 0
+		if u >= n {
+			off = n
+		}
+		b := stateBlock[u]
+		for _, v := range ibSuccOf(u) {
+			if stateBlock[off+int(v)] == b {
+				ibsCount[u]++
+				ibpCount[off+int(v)]++
+				ibTotal++
+			}
+		}
+	}
+	ibSucc := make([][]int32, N)
+	ibPred := make([][]int32, N)
+	ibsBacking := make([]int32, ibTotal)
+	ibpBacking := make([]int32, ibTotal)
+	sOff, pOff := 0, 0
+	for u := 0; u < N; u++ {
+		ibSucc[u] = ibsBacking[sOff : sOff : sOff+int(ibsCount[u])]
+		sOff += int(ibsCount[u])
+		ibPred[u] = ibpBacking[pOff : pOff : pOff+int(ibpCount[u])]
+		pOff += int(ibpCount[u])
+	}
+	for u := 0; u < N; u++ {
+		off := 0
+		if u >= n {
+			off = n
+		}
+		b := stateBlock[u]
+		for _, v := range ibSuccOf(u) {
+			uv := off + int(v)
+			if stateBlock[uv] == b {
+				ibSucc[u] = append(ibSucc[u], int32(uv))
+				ibPred[uv] = append(ibPred[uv], int32(u))
+			}
+		}
+	}
+	// Round 0: a pair is an exact match iff the two states offer successors
+	// in exactly the same blocks.
+	deg := make([]int32, total)
+	for i := range deg {
+		deg[i] = -1
+	}
+	var resolved []int32
+	for id := 0; id < total; id++ {
+		if masks[pairS[id]] == masks[n+int(pairT[id])] {
+			deg[id] = 0
+			resolved = append(resolved, int32(id))
+		}
+	}
+	assigned := len(resolved)
+
+	// clause2b: either t stutters to a strictly smaller degree, or every
+	// move of s is matched or stutters to a strictly smaller degree.  Only
+	// in-block moves can stutter and only in-block moves can be unmatched
+	// while the clause still holds, so comparing the successor-block masks
+	// settles the clause outright in the common case.
+	clause2b := func(s, t int, k int32) bool {
+		sm, tm := masks[s], masks[n+t]
+		if sm&^tm == 0 {
+			return true // every move of s is matched
+		}
+		b := stateBlock[s]
+		bBit := uint64(1) << uint(b)
+		if sm&^tm == bBit {
+			// Only the stuttering moves are unmatched; they all need a
+			// strictly smaller degree.
+			ok := true
+			tRow := pairBase[t]
+			for _, s1 := range ibSucc[s] {
+				if d := deg[tRow+rank[s1]]; d < 0 || d >= k {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		for _, t1 := range ibSucc[n+t] {
+			if d := deg[pairBase[int(t1)-n]+rank[s]]; d >= 0 && d < k {
+				return true
+			}
+		}
+		return false
+	}
+	clause2c := func(s, t int, k int32) bool {
+		sm, tm := masks[s], masks[n+t]
+		if tm&^sm == 0 {
+			return true // every move of t is matched
+		}
+		b := stateBlock[s]
+		bBit := uint64(1) << uint(b)
+		if tm&^sm == bBit {
+			ok := true
+			for _, t1 := range ibSucc[n+t] {
+				if d := deg[pairBase[int(t1)-n]+rank[s]]; d < 0 || d >= k {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		tRow := pairBase[t]
+		for _, s1 := range ibSucc[s] {
+			if d := deg[tRow+rank[s1]]; d >= 0 && d < k {
+				return true
+			}
+		}
+		return false
+	}
+
+	scheduledAt := make([]int32, total)
+	for i := range scheduledAt {
+		scheduledAt[i] = -1
+	}
+	var cands []int32
+	rounds := int32(1)
+	for len(resolved) > 0 {
+		cands = cands[:0]
+		schedule := func(j int32) {
+			if deg[j] < 0 && scheduledAt[j] != rounds {
+				scheduledAt[j] = rounds
+				cands = append(cands, j)
+			}
+		}
+		for _, id := range resolved {
+			s, t := int(pairS[id]), int(pairT[id])
+			for _, sp := range ibPred[s] {
+				schedule(pairBase[t] + rank[sp])
+			}
+			for _, tp := range ibPred[n+t] {
+				schedule(pairBase[int(tp)-n] + rank[s])
+			}
+		}
+		resolved = resolved[:0]
+		for _, id := range cands {
+			s, t := int(pairS[id]), int(pairT[id])
+			if clause2b(s, t, rounds) && clause2c(s, t, rounds) {
+				deg[id] = rounds
+				resolved = append(resolved, id)
+			}
+		}
+		assigned += len(resolved)
+		rounds++
+	}
+	if assigned != total {
+		return nil, false
+	}
+
+	rel := NewRelation(n, n2)
+	for id := 0; id < total; id++ {
+		rel.Set(kripke.State(pairS[id]), kripke.State(pairT[id]), int(deg[id]))
+	}
+	res.OuterIterations++
+	res.DegreeRounds += int(rounds)
+	res.Relation = rel
+	_, res.InitialRelated = rel.Degree(m.Initial(), m2.Initial())
+
+	// Totality straight from the block structure: a state is covered iff the
+	// other side populates its block.
+	rightCount := make([]int32, numBlocks)
+	for t := 0; t < n2; t++ {
+		rightCount[stateBlock[n+t]]++
+	}
+	leftStates := m.States()
+	rightStates := m2.States()
+	if opts.ReachableOnly {
+		leftStates = m.ReachableStates()
+		rightStates = m2.ReachableStates()
+	}
+	res.TotalLeft, res.TotalRight = true, true
+	for _, s := range leftStates {
+		if rightCount[stateBlock[s]] == 0 {
+			res.TotalLeft = false
+			break
+		}
+	}
+	for _, t := range rightStates {
+		if len(blockLefts[stateBlock[n+int(t)]]) == 0 {
+			res.TotalRight = false
+			break
+		}
+	}
+	return res, true
+}
+
+// computeDegreesFast assigns exactly the same minimal degrees as
+// computeDegrees (the reference implementation in compute.go, kept as the
+// oracle) but replaces the per-round rescan of every unresolved pair with
+// worklist scheduling: a pair is re-examined in round k only when one of the
+// pairs its clauses reference — (s, t1) for a successor t1 of t, or (s1, t)
+// for a successor s1 of s — was resolved in round k-1.  With no new adjacent
+// resolution the clause verdict cannot change (every resolved degree is
+// already below the round counter), so the schedule loses nothing; it is
+// what turns the degree pass from O(maxDegree · |R|) into roughly one check
+// per relation edge.
+func computeDegreesFast(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) int {
+	n2 := m2.NumStates()
+	for i := range deg {
+		deg[i] = InfiniteDegree
+	}
+	// Round 0: exact matches with respect to inR.
+	var resolved []int
+	for i, ok := range inR {
+		if !ok {
+			continue
+		}
+		s := kripke.State(i / n2)
+		t := kripke.State(i % n2)
+		if exactMatch(m, m2, inR, n2, s, t) {
+			deg[i] = 0
+			resolved = append(resolved, i)
+		}
+	}
+	scheduledAt := make([]int32, len(inR))
+	for i := range scheduledAt {
+		scheduledAt[i] = -1
+	}
+	var cands []int
+	rounds := 1
+	for len(resolved) > 0 && rounds <= maxRounds {
+		cands = cands[:0]
+		schedule := func(j int) {
+			if inR[j] && deg[j] == InfiniteDegree && scheduledAt[j] != int32(rounds) {
+				scheduledAt[j] = int32(rounds)
+				cands = append(cands, j)
+			}
+		}
+		for _, i := range resolved {
+			s, t := i/n2, i%n2
+			for _, sp := range m.Pred(kripke.State(s)) {
+				schedule(int(sp)*n2 + t)
+			}
+			for _, tp := range m2.Pred(kripke.State(t)) {
+				schedule(s*n2 + int(tp))
+			}
+		}
+		resolved = resolved[:0]
+		for _, i := range cands {
+			s := kripke.State(i / n2)
+			t := kripke.State(i % n2)
+			if degClause2b(m, m2, inR, deg, n2, s, t, rounds) && degClause2c(m, m2, inR, deg, n2, s, t, rounds) {
+				deg[i] = rounds
+				resolved = append(resolved, i)
+			}
+		}
+		rounds++
+	}
+	return rounds
+}
+
+func (r *refiner) enqueue(bid int32) {
+	if !r.inQueue[bid] {
+		r.inQueue[bid] = true
+		r.queue = append(r.queue, bid)
+	}
+}
+
+// drain processes splitters until the partition is stable with respect to
+// every block in the queue (and every block their splits re-enqueue).
+func (r *refiner) drain() {
+	for len(r.queue) > 0 {
+		bid := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inQueue[bid] = false
+		r.refineAgainst(bid)
+	}
+}
+
+// refineAgainst splits every other block against the splitter sp: a block is
+// stable with respect to sp when either all or none of its states can reach
+// sp by a path staying inside the block.
+func (r *refiner) refineAgainst(sp int32) {
+	// dp: contracted nodes with a direct edge into the splitter.
+	dp := r.dpScratch
+	for i := range dp {
+		dp[i] = 0
+	}
+	spSet := r.blocks[sp].set
+	if r.mat != nil {
+		spSet.ForEach(func(v int) bool { dp.Or(r.mat.Pred(v)); return true })
+	} else {
+		spSet.ForEach(func(v int) bool {
+			for _, p := range r.cPred[v] {
+				dp.Set(int(p))
+			}
+			return true
+		})
+	}
+	// Candidate blocks: those holding a state with an edge into the splitter.
+	// Splitting one candidate never moves states of another, so the list
+	// stays valid as we go (the split-off halves hold no state of dp).
+	r.stamp++
+	cands := r.candScratch[:0]
+	dp.ForEach(func(v int) bool {
+		b := r.blockOf[v]
+		if b != sp && r.candStamp[b] != r.stamp {
+			r.candStamp[b] = r.stamp
+			cands = append(cands, b)
+		}
+		return true
+	})
+	for _, bid := range cands {
+		r.splitReach(bid, dp)
+	}
+	r.candScratch = cands[:0]
+}
+
+// splitReach splits block bid by "can reach the splitter through the block".
+// Both halves are stable against the splitter afterwards: every state on a
+// witnessing path lies in the positive half itself.
+func (r *refiner) splitReach(bid int32, dp kripke.BitSet) {
+	b := r.blocks[bid]
+	pos := b.set.Clone()
+	pos.And(dp) // word-parallel: the block's direct exits into the splitter
+	if pos.Empty() {
+		return
+	}
+	r.closeBackwardWithin(bid, pos)
+	r.divide(bid, pos)
+}
+
+// closeBackwardWithin extends set to every state of block bid that can reach
+// set via transitions staying inside the block.  The inside of a block is
+// acyclic (silent SCCs are contracted), so plain BFS terminates.
+func (r *refiner) closeBackwardWithin(bid int32, set kripke.BitSet) {
+	var stack []int32
+	set.ForEach(func(v int) bool { stack = append(stack, int32(v)); return true })
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range r.cPred[v] {
+			if r.blockOf[p] == bid && !set.Get(int(p)) {
+				set.Set(int(p))
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// divide splits block bid into pos and the rest, re-enqueueing what the
+// split may have destabilised.  It reports whether a proper split happened.
+func (r *refiner) divide(bid int32, pos kripke.BitSet) bool {
+	b := r.blocks[bid]
+	posCount := pos.Count()
+	if posCount == 0 || posCount == b.size {
+		return false
+	}
+	rest := b.set.Clone()
+	rest.AndNot(pos) // word-parallel
+	nid := int32(len(r.blocks))
+	r.blocks = append(r.blocks, &rblock{set: rest, size: b.size - posCount})
+	r.inQueue = append(r.inQueue, false)
+	r.candStamp = append(r.candStamp, 0)
+	b.set = pos
+	b.size = posCount
+	rest.ForEach(func(v int) bool { r.blockOf[v] = nid; return true })
+	// Other blocks must re-check stability against each half, and each half
+	// must re-check stability against its successor blocks (a half's
+	// inside-the-block closure is smaller than its parent's was).
+	r.enqueue(bid)
+	r.enqueue(nid)
+	r.enqueueSuccessors(pos)
+	r.enqueueSuccessors(rest)
+	return true
+}
+
+// enqueueSuccessors enqueues the blocks reachable in one step from set.
+func (r *refiner) enqueueSuccessors(set kripke.BitSet) {
+	if r.mat != nil {
+		out := kripke.NewBitSet(r.cN)
+		set.ForEach(func(v int) bool { out.Or(r.mat.Succ(v)); return true })
+		out.ForEach(func(w int) bool { r.enqueue(r.blockOf[w]); return true })
+		return
+	}
+	set.ForEach(func(v int) bool {
+		for _, w := range r.cSucc[v] {
+			r.enqueue(r.blockOf[w])
+		}
+		return true
+	})
+}
+
+// divergencePass splits blocks whose states disagree on divergence: a state
+// diverges within its block when it can reach, without leaving the block, a
+// contracted node carrying an internal silent cycle.  It reports whether any
+// block was split (the caller then drains the queue again, since divergence
+// splits can destabilise reachability and vice versa).
+func (r *refiner) divergencePass() bool {
+	changed := false
+	for bid := 0; bid < len(r.blocks); bid++ {
+		b := r.blocks[bid]
+		div := b.set.Clone()
+		div.And(r.divMask) // word-parallel: the block's internal cycles
+		if div.Empty() {
+			continue
+		}
+		r.closeBackwardWithin(int32(bid), div)
+		if r.divide(int32(bid), div) {
+			changed = true
+		}
+	}
+	return changed
+}

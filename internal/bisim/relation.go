@@ -18,10 +18,13 @@
 //   - Check: verify that a given relation satisfies the definition (used for
 //     the paper's hand-built Section 5 relation);
 //   - Compute: build the maximal correspondence between two structures and
-//     the minimal degree of every related pair (a greatest fixpoint over
-//     candidate pairs with an inner least fixpoint computing degrees);
+//     the minimal degree of every related pair.  Two engines implement it:
+//     the default partition-refinement engine (refine.go), which refines a
+//     label partition of the disjoint union with a splitter queue and
+//     bitset blocks, and the original nested-fixpoint procedure
+//     (ComputeFixpoint, compute.go), retained as its cross-check oracle;
 //   - IndexedCompute / IndexedCheck: the (i,i')-correspondences of Section 4
-//     lifted over a total index relation IN;
+//     lifted over a total index relation IN, decided on a worker pool;
 //   - Minimize: quotient a structure by its maximal self-correspondence,
 //     which is the state-space reduction the paper's introduction motivates.
 package bisim
@@ -29,6 +32,7 @@ package bisim
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/kripke"
@@ -53,6 +57,11 @@ type Options struct {
 	// theoretical bound |S| + |S'| (the paper proves the minimal degree
 	// never exceeds it).
 	MaxDegreeRounds int
+
+	// Workers caps the pool IndexedCompute decides the IN pairs on.  Zero
+	// or negative means one worker per available CPU.  Compute itself is
+	// single-threaded and unaffected.
+	Workers int
 }
 
 func (o Options) normalizedOneProps() []string {
@@ -77,7 +86,7 @@ const InfiniteDegree = -1
 // for every pair (s, s') it records either a degree ≥ 0 or absence.
 type Relation struct {
 	n, n2   int
-	degrees []int // n*n2 entries; InfiniteDegree-1 == -2 means "absent"
+	degrees []int32 // n*n2 entries; InfiniteDegree-1 == -2 means "absent"
 }
 
 const absent = -2
@@ -85,7 +94,7 @@ const absent = -2
 // NewRelation returns an empty relation between structures with n and n2
 // states.
 func NewRelation(n, n2 int) *Relation {
-	r := &Relation{n: n, n2: n2, degrees: make([]int, n*n2)}
+	r := &Relation{n: n, n2: n2, degrees: make([]int32, n*n2)}
 	for i := range r.degrees {
 		r.degrees[i] = absent
 	}
@@ -99,7 +108,7 @@ func (r *Relation) idx(s, t kripke.State) int { return int(s)*r.n2 + int(t) }
 
 // Set records that s corresponds to t with the given degree (≥ 0).
 func (r *Relation) Set(s, t kripke.State, degree int) {
-	r.degrees[r.idx(s, t)] = degree
+	r.degrees[r.idx(s, t)] = int32(degree)
 }
 
 // Remove deletes the pair (s, t) from the relation.
@@ -122,7 +131,7 @@ func (r *Relation) Degree(s, t kripke.State) (int, bool) {
 	if d == absent {
 		return 0, false
 	}
-	return d, true
+	return int(d), true
 }
 
 // Size returns the number of pairs in the relation.
@@ -138,13 +147,13 @@ func (r *Relation) Size() int {
 
 // MaxDegree returns the largest finite degree in the relation (0 if empty).
 func (r *Relation) MaxDegree() int {
-	max := 0
+	max := int32(0)
 	for _, d := range r.degrees {
 		if d > max {
 			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // Pairs returns every pair in the relation, ordered by (s, t).
@@ -153,7 +162,7 @@ func (r *Relation) Pairs() []Pair {
 	for s := 0; s < r.n; s++ {
 		for t := 0; t < r.n2; t++ {
 			if d := r.degrees[r.idx(kripke.State(s), kripke.State(t))]; d != absent {
-				out = append(out, Pair{S: kripke.State(s), T: kripke.State(t), Degree: d})
+				out = append(out, Pair{S: kripke.State(s), T: kripke.State(t), Degree: int(d)})
 			}
 		}
 	}
@@ -169,6 +178,29 @@ func (r *Relation) RelatedLeft(s kripke.State) []kripke.State {
 		}
 	}
 	return out
+}
+
+// anyRelatedLeft reports whether s is related to at least one state of the
+// second structure, without materialising the row.
+func (r *Relation) anyRelatedLeft(s kripke.State) bool {
+	base := int(s) * r.n2
+	for t := 0; t < r.n2; t++ {
+		if r.degrees[base+t] != absent {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRelatedRight reports whether t is related to at least one state of the
+// first structure, without materialising the column.
+func (r *Relation) anyRelatedRight(t kripke.State) bool {
+	for s := 0; s < r.n; s++ {
+		if r.degrees[s*r.n2+int(t)] != absent {
+			return true
+		}
+	}
+	return false
 }
 
 // RelatedRight returns the states of the first structure related to t.
@@ -230,6 +262,12 @@ func UnmarshalRelationJSON(data []byte) (*Relation, error) {
 		}
 		if p.Degree < 0 {
 			return nil, fmt.Errorf("bisim: decoding relation: pair (%d,%d) has negative degree %d", p.S, p.T, p.Degree)
+		}
+		if p.Degree > math.MaxInt32 {
+			// Degrees are stored as int32 (the paper bounds minimal degrees
+			// by |S| + |S'|); reject rather than silently truncate onto the
+			// absent/InfiniteDegree sentinels.
+			return nil, fmt.Errorf("bisim: decoding relation: pair (%d,%d) has implausible degree %d", p.S, p.T, p.Degree)
 		}
 		r.Set(p.S, p.T, p.Degree)
 	}

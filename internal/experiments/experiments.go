@@ -4,6 +4,10 @@
 // experiment, cmd/experiments prints the tables that EXPERIMENTS.md records,
 // and the test suite asserts the qualitative shape of each result.
 //
+// The experiments are independent, so they execute on the worker-pool
+// runner of runner.go, which also streams results as they complete and
+// sweeps ring sizes through the correspondence engine (CorrespondenceSweep).
+//
 // Experiment identifiers follow DESIGN.md:
 //
 //	E1  Fig. 3.1   corresponding structures and their degrees
@@ -330,7 +334,6 @@ func CorrespondenceCutoff(maxR int) (*Table, error) {
 		Columns: []string{"small", "r", "indexed correspondence", "max degree",
 			"distinguishing formula on M_small", "on M_r"},
 	}
-	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
 	chi := ring.DistinguishingFormula()
 	for _, small := range []int{2, ring.CutoffSize} {
 		smallInst, err := ring.Build(small)
@@ -346,13 +349,7 @@ func CorrespondenceCutoff(maxR int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			var in []bisim.IndexPair
-			if small == 2 {
-				in = ring.IndexRelation(small, r)
-			} else {
-				in = ring.CutoffIndexRelation(small, r)
-			}
-			res, err := bisim.IndexedCompute(smallInst.M, largeInst.M, in, opts)
+			res, err := ring.DecideCorrespondence(smallInst, largeInst)
 			if err != nil {
 				return nil, err
 			}
@@ -475,7 +472,6 @@ func StateExplosion(maxR int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
 	for r := 2; r <= maxR; r++ {
 		inst, err := ring.Build(r)
 		if err != nil {
@@ -496,7 +492,7 @@ func StateExplosion(maxR int) (*Table, error) {
 		corrCell := "n/a (cutoff not reached)"
 		if r >= ring.CutoffSize {
 			corrStart := time.Now()
-			res, err := bisim.IndexedCompute(cutoff.M, inst.M, ring.CutoffIndexRelation(ring.CutoffSize, r), opts)
+			res, err := ring.DecideCorrespondence(cutoff, inst)
 			if err != nil {
 				return nil, err
 			}
@@ -650,31 +646,4 @@ func NestingConjecture(maxK int) (*Table, error) {
 	return t, nil
 }
 
-// All runs every experiment with its default parameters and returns the
-// tables in DESIGN.md order.
-func All() ([]*Table, error) {
-	type build struct {
-		name string
-		fn   func() (*Table, error)
-	}
-	builds := []build{
-		{"E1", Fig31},
-		{"E2", func() (*Table, error) { return Fig41(4) }},
-		{"E3", Fig51},
-		{"E4/E5", func() (*Table, error) { return RingChecks(6) }},
-		{"E6", func() (*Table, error) { return CorrespondenceCutoff(6) }},
-		{"E6b", func() (*Table, error) { return LocalRefutation([]int{100, 1000}, 25, 1) }},
-		{"E7", func() (*Table, error) { return StateExplosion(9) }},
-		{"E8", func() (*Table, error) { return Minimization(6) }},
-		{"E9", func() (*Table, error) { return NestingConjecture(4) }},
-	}
-	out := make([]*Table, 0, len(builds))
-	for _, b := range builds {
-		tbl, err := b.fn()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", b.name, err)
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
-}
+// All and the worker-pool runner behind it live in runner.go.

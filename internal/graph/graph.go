@@ -191,6 +191,85 @@ func (g *Graph) SCC() *SCCResult {
 	return &SCCResult{Comp: comp, Components: components}
 }
 
+// SCCComp computes only the component assignment of Tarjan's algorithm: it
+// returns comp (vertex -> component number, numbered in reverse topological
+// order like SCC) and the number of components.  Callers that do not need
+// the per-component vertex lists — e.g. the partition-refinement engine,
+// which contracts components on every comparison — avoid the O(#components)
+// slice allocations of SCC.
+func (g *Graph) SCCComp() (comp []int, numComponents int) {
+	n := len(g.adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp = make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v     int
+		child int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: root}}
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			v := fr.v
+			if fr.child == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for fr.child < len(g.adj[v]) {
+				w := g.adj[v][fr.child]
+				fr.child++
+				if index[w] == unvisited {
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComponents
+					if w == v {
+						break
+					}
+				}
+				numComponents++
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, numComponents
+}
+
 // Condensation returns the component DAG of g: one vertex per strongly
 // connected component, with an edge between two components whenever g has an
 // edge between their members.  Self loops and duplicate edges are removed.

@@ -15,7 +15,9 @@
 // mutual-exclusion transition graph a Kripke structure), the reduction M|i
 // that erases all indexed propositions except those of process i, and
 // re-indexing used when comparing reductions of structures with different
-// index sets.
+// index sets.  For the partition-refinement correspondence engine the
+// transition relation is also available in bitset form (BitSet,
+// TransitionMatrix in bitset.go), which makes block splits word-parallel.
 package kripke
 
 import (
@@ -480,11 +482,20 @@ func computeOnes(lbl []Prop) []string {
 	return out
 }
 
-func labelKey(lbl []Prop) string {
-	var sb strings.Builder
+func labelKey(lbl []Prop) string { return string(appendLabelKey(nil, lbl)) }
+
+// appendLabelKey appends the canonical key of lbl to dst.  Prop.String is
+// inlined so building a key costs no allocation beyond dst itself; callers
+// on hot paths (reductions rebuild every key) reuse a scratch buffer.
+func appendLabelKey(dst []byte, lbl []Prop) []byte {
 	for _, p := range lbl {
-		sb.WriteString(p.String())
-		sb.WriteByte(';')
+		dst = append(dst, p.Name...)
+		if p.Indexed {
+			dst = append(dst, '[')
+			dst = strconv.AppendInt(dst, int64(p.Index), 10)
+			dst = append(dst, ']')
+		}
+		dst = append(dst, ';')
 	}
-	return sb.String()
+	return dst
 }

@@ -1,9 +1,6 @@
 package kripke
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // This file implements the structural operations on Kripke structures that
 // the paper relies on:
@@ -122,19 +119,49 @@ func (m *Structure) reduceWith(keep, renameTo int) *Structure {
 		ones:      m.ones, // the O_i P_i atoms live in AP and are preserved verbatim
 		labelKeys: make([]string, n),
 	}
+	// Surviving labels are tiny (the plain props plus at most a few indexed
+	// ones), so they are packed into one backing array sized by a counting
+	// pass; reductions are rebuilt constantly by the correspondence engine
+	// and per-state slice growth dominated this function's cost.
+	kept := 0
 	for s := 0; s < n; s++ {
-		var lbl []Prop
+		for _, p := range m.labels[s] {
+			if !p.Indexed || p.Index == keep {
+				kept++
+			}
+		}
+	}
+	backing := make([]Prop, 0, kept)
+	keyCache := make(map[string]string)
+	var scratch []byte
+	for s := 0; s < n; s++ {
+		start := len(backing)
 		for _, p := range m.labels[s] {
 			switch {
 			case !p.Indexed:
-				lbl = append(lbl, p)
+				backing = append(backing, p)
 			case p.Index == keep:
-				lbl = append(lbl, PI(p.Name, renameTo))
+				backing = append(backing, PI(p.Name, renameTo))
 			}
 		}
-		sort.Slice(lbl, func(a, b int) bool { return lbl[a].Less(lbl[b]) })
+		lbl := backing[start:len(backing):len(backing)]
+		// Insertion sort: surviving labels have at most a handful of props.
+		for i := 1; i < len(lbl); i++ {
+			for j := i; j > 0 && lbl[j].Less(lbl[j-1]); j-- {
+				lbl[j], lbl[j-1] = lbl[j-1], lbl[j]
+			}
+		}
 		out.labels[s] = lbl
-		out.labelKeys[s] = labelKey(lbl)
+		// Reductions collapse most labels onto a few distinct keys; build
+		// the key in a scratch buffer and reuse the canonical string (the
+		// map lookup through string(scratch) does not allocate).
+		scratch = appendLabelKey(scratch[:0], lbl)
+		key, ok := keyCache[string(scratch)]
+		if !ok {
+			key = string(scratch)
+			keyCache[key] = key
+		}
+		out.labelKeys[s] = key
 	}
 	out.indexValues = []int{renameTo}
 	return out

@@ -18,7 +18,11 @@
 // directly from the structure's labelling.
 //
 // A Checker memoises the satisfaction set of every subformula it evaluates,
-// so repeated queries against the same structure are cheap.
+// so repeated queries against the same structure are cheap.  NewMinimized
+// (minimize.go) additionally routes the checker through the correspondence
+// engine of package bisim: the structure is quotiented by its verified
+// maximal self-correspondence first, which preserves all CTL* (no nexttime)
+// answers while shrinking the state space.
 package mc
 
 import (

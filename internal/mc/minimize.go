@@ -1,0 +1,33 @@
+package mc
+
+import (
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+)
+
+// This file routes the model checker through the correspondence engine of
+// package bisim: a structure can be quotiented by its maximal
+// self-correspondence before checking, which is the state-space reduction
+// the paper's introduction motivates ("collapse a large machine into a much
+// smaller one").  By Theorem 2 the quotient — which bisim.Minimize verifies
+// against the original before returning it — satisfies exactly the same
+// CTL* formulas without the nexttime operator, so for that fragment the
+// reduced checker's answers are the original's.
+
+// NewMinimized returns a Checker over the verified bisimulation quotient of
+// m.  When minimization fails — most commonly because the quotient is
+// refused (the degree-bounded relation is not always a congruence for state
+// fusion; see bisim.Minimize) — the returned checker falls back to m
+// itself, the second result is nil, and the error says why, so callers can
+// report the actual reason rather than guess.
+//
+// Answers agree with a plain New(m) checker on every CTL* formula without
+// nexttime; formulas using X are interpreted over the quotient and may
+// legitimately differ, which is exactly why the paper's logics exclude X.
+func NewMinimized(m *kripke.Structure, opts bisim.Options) (*Checker, *bisim.MinimizeResult, error) {
+	res, err := bisim.Minimize(m, opts)
+	if err != nil {
+		return New(m), nil, err
+	}
+	return New(res.Quotient), res, nil
+}

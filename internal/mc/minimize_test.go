@@ -1,0 +1,64 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// TestNewMinimizedAgreesWithPlainChecker: checking on the verified quotient
+// must answer every CTL* (no nexttime) query exactly like checking on the
+// original structure — that is Theorem 2 put to work as a state-space
+// reduction inside the model checker.
+func TestNewMinimizedAgreesWithPlainChecker(t *testing.T) {
+	// A stuttering chain into a two-state cycle: collapses 5 states to 2.
+	b := kripke.NewBuilder("stuttered")
+	var as []kripke.State
+	for i := 0; i < 4; i++ {
+		as = append(as, b.AddState(kripke.P("a")))
+	}
+	bb := b.AddState(kripke.P("b"))
+	for i := 0; i+1 < len(as); i++ {
+		if err := b.AddTransition(as[i], as[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddTransition(as[len(as)-1], bb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(bb, as[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(as[0]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reduced, minres, err := NewMinimized(m, bisim.Options{})
+	if minres == nil {
+		t.Fatalf("quotient unexpectedly refused for a plain stutter chain: %v", err)
+	}
+	if got := minres.Quotient.NumStates(); got >= m.NumStates() {
+		t.Fatalf("quotient has %d states, original %d — no reduction", got, m.NumStates())
+	}
+	plain := New(m)
+	for _, text := range []string{"AF b", "AG (a -> AF b)", "EG a", "A (a U b)", "EF (b & EF a)", "E (G (F b))"} {
+		f := logic.MustParse(text)
+		hp, err := plain.Holds(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := reduced.Holds(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp != hr {
+			t.Errorf("quotient changed the truth of %s: plain=%v reduced=%v", text, hp, hr)
+		}
+	}
+}

@@ -188,6 +188,33 @@ func CutoffIndexRelation(small, r int) []bisim.IndexPair {
 	return out
 }
 
+// CorrespondOptions returns the options under which ring correspondences
+// are decided: the "exactly one token holder" atom O_i t_i is part of AP
+// (Section 4) and totality is required over the reachable states (M_r is a
+// reachable restriction by construction).
+func CorrespondOptions() bisim.Options {
+	return bisim.Options{OneProps: []string{PropToken}, ReachableOnly: true}
+}
+
+// IndexRelationFor returns the IN relation appropriate for comparing
+// M_small with M_r: the paper's Section 5 relation for small = 2 (the claim
+// under refutation) and the corrected cutoff relation otherwise.
+func IndexRelationFor(small, r int) []bisim.IndexPair {
+	if small == 2 {
+		return IndexRelation(small, r)
+	}
+	return CutoffIndexRelation(small, r)
+}
+
+// DecideCorrespondence decides the indexed correspondence between two
+// explicitly built instances through the partition-refinement engine behind
+// bisim.Compute, with the canonical IN relation and options.  It is the one
+// entry point the experiment harness, cmd/ringverify and the examples
+// share.
+func DecideCorrespondence(small, large *Instance) (*bisim.IndexedResult, error) {
+	return bisim.IndexedCompute(small.M, large.M, IndexRelationFor(small.R, large.R), CorrespondOptions())
+}
+
 // CutoffSize is the smallest ring that represents all larger rings: the
 // reproduction shows that the paper's cutoff of two processes is too small
 // (DistinguishingFormula separates M_2 from every larger ring) and that
