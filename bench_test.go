@@ -9,6 +9,7 @@ package repro_test
 // The experiment identifiers (E1..E9) match DESIGN.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,7 +27,7 @@ import (
 
 func BenchmarkFig31Correspondence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig31(); err != nil {
+		if _, err := experiments.Fig31(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -34,7 +35,7 @@ func BenchmarkFig31Correspondence(b *testing.B) {
 
 func BenchmarkFig41Counting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig41(4); err != nil {
+		if _, err := experiments.Fig41(context.Background(), 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +43,7 @@ func BenchmarkFig41Counting(b *testing.B) {
 
 func BenchmarkFig51BuildM2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig51(); err != nil {
+		if _, err := experiments.Fig51(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -50,7 +51,7 @@ func BenchmarkFig51BuildM2(b *testing.B) {
 
 func BenchmarkRingInvariantsAndProperties(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RingChecks(6); err != nil {
+		if _, err := experiments.RingChecks(context.Background(), 6); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +59,7 @@ func BenchmarkRingInvariantsAndProperties(b *testing.B) {
 
 func BenchmarkCorrespondenceCutoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.CorrespondenceCutoff(6); err != nil {
+		if _, err := experiments.CorrespondenceCutoff(context.Background(), 6); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func BenchmarkCorrespondenceCutoff(b *testing.B) {
 
 func BenchmarkAppendixLocalCheck1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.LocalRefutation([]int{1000}, 10, 1); err != nil {
+		if _, err := experiments.LocalRefutation(context.Background(), []int{1000}, 10, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,7 +75,7 @@ func BenchmarkAppendixLocalCheck1000(b *testing.B) {
 
 func BenchmarkStateExplosionTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.StateExplosion(8); err != nil {
+		if _, err := experiments.StateExplosion(context.Background(), 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +83,7 @@ func BenchmarkStateExplosionTable(b *testing.B) {
 
 func BenchmarkMinimization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Minimization(5); err != nil {
+		if _, err := experiments.Minimization(context.Background(), 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +91,7 @@ func BenchmarkMinimization(b *testing.B) {
 
 func BenchmarkNestingConjecture(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.NestingConjecture(4); err != nil {
+		if _, err := experiments.NestingConjecture(context.Background(), 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +115,7 @@ func BenchmarkStateExplosionDirect(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				checker := mc.New(inst.M)
 				for _, p := range props {
-					holds, err := checker.Holds(p.Formula)
+					holds, err := checker.Holds(context.Background(), p.Formula)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -153,7 +154,7 @@ func BenchmarkParameterizedRoute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		checker := mc.New(cutoff.M)
 		for _, p := range props {
-			if _, err := checker.Holds(p.Formula); err != nil {
+			if _, err := checker.Holds(context.Background(), p.Formula); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -176,7 +177,7 @@ func BenchmarkCorrespondenceM3ToMr(b *testing.B) {
 			in := ring.CutoffIndexRelation(ring.CutoffSize, r)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := bisim.IndexedCompute(small.M, large.M, in, opts)
+				res, err := bisim.IndexedCompute(context.Background(), small.M, large.M, in, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -202,7 +203,7 @@ func BenchmarkCTLLabelling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		checker := mc.New(inst.M)
-		if _, err := checker.Holds(formula); err != nil {
+		if _, err := checker.Holds(context.Background(), formula); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +220,7 @@ func BenchmarkCTLStarTableau(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		checker := mc.New(inst.M)
-		if _, err := checker.Holds(formula); err != nil {
+		if _, err := checker.Holds(context.Background(), formula); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,7 +233,7 @@ func BenchmarkMaximalCorrespondence(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bisim.Compute(left, right, bisim.Options{}); err != nil {
+		if _, err := bisim.Compute(context.Background(), left, right, bisim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,14 +259,14 @@ func BenchmarkEngineRefinedVsFixpoint(b *testing.B) {
 		right := large.M.ReduceNormalized(1)
 		b.Run(fmt.Sprintf("refined/r=%d", r), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := bisim.Compute(left, right, opts); err != nil {
+				if _, err := bisim.Compute(context.Background(), left, right, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("fixpoint/r=%d", r), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := bisim.ComputeFixpoint(left, right, opts); err != nil {
+				if _, err := bisim.ComputeFixpoint(context.Background(), left, right, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -357,7 +358,7 @@ func BenchmarkMinimizeStutteredStructure(b *testing.B) {
 	_ = left
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bisim.Minimize(right, bisim.Options{}); err != nil {
+		if _, err := bisim.Minimize(context.Background(), right, bisim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

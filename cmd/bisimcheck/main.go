@@ -8,24 +8,38 @@
 //
 //	bisimcheck -a left.km -b right.km
 //	bisimcheck -a small.km -b large.km -index-pairs "1:1,2:2,2:3" -one t
+//	bisimcheck -a left.km -b right.km -json          # machine-readable verdict
+//	bisimcheck -a small.km -b large.km -workers 4 -index-pairs "1:1,2:2"
 //
 // Exit status 0 when the structures correspond, 1 when they do not, 2 on
 // errors.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/bisim"
-	"repro/internal/kripke"
+	"repro/pkg/podc"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// jsonVerdict is the -json output shape, shared by the plain and indexed
+// modes.
+type jsonVerdict struct {
+	Corresponds  bool             `json:"corresponds"`
+	Indexed      bool             `json:"indexed"`
+	MaxDegree    int              `json:"max_degree"`
+	Pairs        int              `json:"pairs,omitempty"`
+	FailingPairs []podc.IndexPair `json:"failing_pairs,omitempty"`
+	Relation     json.RawMessage  `json:"relation,omitempty"`
 }
 
 func run() int {
@@ -35,10 +49,13 @@ func run() int {
 	onesFlag := flag.String("one", "", "comma separated proposition names whose 'exactly one' atoms are part of AP")
 	reachableOnly := flag.Bool("reachable-only", true, "require totality only over reachable states")
 	showPairs := flag.Bool("pairs", false, "print the maximal correspondence relation with degrees")
+	workers := flag.Int("workers", 0, "worker pool size for indexed correspondences (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit the verdict as JSON on stdout")
 	flag.Parse()
+	ctx := context.Background()
 
 	if *pathA == "" || *pathB == "" {
-		fmt.Fprintln(os.Stderr, "usage: bisimcheck -a FILE -b FILE [-index-pairs ...] [-one props]")
+		fmt.Fprintln(os.Stderr, "usage: bisimcheck -a FILE -b FILE [-index-pairs ...] [-one props] [-workers n] [-json]")
 		flag.PrintDefaults()
 		return 2
 	}
@@ -52,12 +69,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "bisimcheck:", err)
 		return 2
 	}
-	opts := bisim.Options{ReachableOnly: *reachableOnly}
-	if *onesFlag != "" {
-		opts.OneProps = strings.Split(*onesFlag, ",")
+	opts := []podc.Option{podc.WithWorkers(*workers)}
+	if *reachableOnly {
+		opts = append(opts, podc.WithReachableOnly())
 	}
-	fmt.Println(a.ComputeStats())
-	fmt.Println(b.ComputeStats())
+	if *onesFlag != "" {
+		opts = append(opts, podc.WithAtoms(strings.Split(*onesFlag, ",")...))
+	}
+	if !*jsonOut {
+		fmt.Println(a.Summary())
+		fmt.Println(b.Summary())
+	}
 
 	if *indexPairs != "" {
 		in, err := parseIndexPairs(*indexPairs)
@@ -65,14 +87,28 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "bisimcheck:", err)
 			return 2
 		}
-		res, err := bisim.IndexedCompute(a, b, in, opts)
+		res, err := podc.IndexedCorrespond(ctx, a, b, in, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bisimcheck:", err)
 			return 2
 		}
-		for pair, r := range res.Pairs {
-			fmt.Printf("  (%d,%d): initial related=%v total=%v/%v max degree=%d\n",
-				pair.I, pair.I2, r.InitialRelated, r.TotalLeft, r.TotalRight, r.Relation.MaxDegree())
+		if *jsonOut {
+			emitJSON(jsonVerdict{
+				Corresponds:  res.Corresponds(),
+				Indexed:      true,
+				MaxDegree:    res.MaxDegree(),
+				Pairs:        len(res.IndexRelation()),
+				FailingPairs: res.FailingPairs(),
+			})
+			return exitStatus(res.Corresponds())
+		}
+		for _, pair := range res.IndexRelation() {
+			if pr, ok := res.PairResult(pair); ok {
+				initial := pr.InitialsRelated()
+				tl, tr := pr.Total()
+				fmt.Printf("  (%d,%d): initial related=%v total=%v/%v max degree=%d\n",
+					pair.I, pair.I2, initial, tl, tr, pr.MaxDegree())
+			}
 		}
 		if res.Corresponds() {
 			fmt.Println("RESULT: the structures indexed-correspond; closed restricted ICTL* formulas transfer")
@@ -82,16 +118,28 @@ func run() int {
 		return 1
 	}
 
-	res, err := bisim.Compute(a, b, opts)
+	res, err := podc.Correspond(ctx, a, b, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bisimcheck:", err)
 		return 2
 	}
+	if *jsonOut {
+		v := jsonVerdict{Corresponds: res.Corresponds(), MaxDegree: res.MaxDegree(), Pairs: res.Size()}
+		if *showPairs {
+			if rel, err := json.Marshal(res); err == nil {
+				v.Relation = rel
+			}
+		}
+		emitJSON(v)
+		return exitStatus(res.Corresponds())
+	}
+	initial := res.InitialsRelated()
+	tl, tr := res.Total()
 	fmt.Printf("pairs=%d initial related=%v total=%v/%v max degree=%d\n",
-		res.Relation.Size(), res.InitialRelated, res.TotalLeft, res.TotalRight, res.Relation.MaxDegree())
+		res.Size(), initial, tl, tr, res.MaxDegree())
 	if *showPairs {
-		for _, p := range res.Relation.Pairs() {
-			fmt.Printf("  %d ~ %d (degree %d)\n", p.S, p.T, p.Degree)
+		for _, p := range res.Pairs() {
+			fmt.Printf("  %d ~ %d (degree %d)\n", p.Left, p.Right, p.Degree)
 		}
 	}
 	if res.Corresponds() {
@@ -102,17 +150,32 @@ func run() int {
 	return 1
 }
 
-func loadStructure(path string) (*kripke.Structure, error) {
+func exitStatus(corresponds bool) int {
+	if corresponds {
+		return 0
+	}
+	return 1
+}
+
+func emitJSON(v jsonVerdict) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "bisimcheck:", err)
+	}
+}
+
+func loadStructure(path string) (*podc.Structure, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return kripke.DecodeText(f)
+	return podc.ReadStructure(f)
 }
 
-func parseIndexPairs(s string) ([]bisim.IndexPair, error) {
-	var out []bisim.IndexPair
+func parseIndexPairs(s string) ([]podc.IndexPair, error) {
+	var out []podc.IndexPair
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -130,7 +193,7 @@ func parseIndexPairs(s string) ([]bisim.IndexPair, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad index %q", halves[1])
 		}
-		out = append(out, bisim.IndexPair{I: i, I2: j})
+		out = append(out, podc.IndexPair{I: i, I2: j})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no index pairs given")

@@ -1,12 +1,14 @@
 // Command experiments regenerates every table and figure of the
 // reproduction (the data recorded in EXPERIMENTS.md) on a worker pool, and
 // runs ring-size sweeps through the partition-refinement correspondence
-// engine.
+// engine.  It is a thin front end over podc.Session, the same streaming
+// machinery the HTTP service serves.
 //
 // Usage:
 //
 //	experiments                  # run E1..E9 on the pool, print in order
 //	experiments -markdown        # print the tables as markdown (EXPERIMENTS.md form)
+//	experiments -json            # print the tables as JSON (the HTTP service's shape)
 //	experiments -only E6         # run a single experiment by identifier
 //	experiments -stream          # print each table the moment it finishes
 //	experiments -workers 2       # cap the worker pool
@@ -14,60 +16,63 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/experiments"
+	"repro/pkg/podc"
 )
 
 func main() {
 	markdown := flag.Bool("markdown", false, "render the tables as markdown")
+	jsonOut := flag.Bool("json", false, "render the tables as JSON")
 	only := flag.String("only", "", "run only the experiment with this identifier (e.g. E1, E6, E7)")
 	stream := flag.Bool("stream", false, "print each table as soon as its experiment finishes (completion order)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	sweep := flag.String("sweep", "", "comma separated ring sizes: decide the cutoff correspondence for each, streaming results")
 	flag.Parse()
+	ctx := context.Background()
 
-	runner := experiments.Runner{Workers: *workers}
-	if *sweep != "" {
-		os.Exit(runSweep(runner, *sweep, *markdown))
-	}
-
-	render := func(tbl *experiments.Table) {
-		if *markdown {
+	session := podc.NewSession(podc.WithWorkers(*workers))
+	render := func(tbl *podc.Table) {
+		switch {
+		case *jsonOut:
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tbl); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		case *markdown:
 			fmt.Println(tbl.Markdown())
-		} else {
+		default:
 			fmt.Println(tbl.Text())
 		}
 	}
 
-	jobs := experiments.StandardJobs()
+	if *sweep != "" {
+		os.Exit(runSweep(ctx, session, *sweep, *jsonOut, render))
+	}
+
+	var ids []string
 	if *only != "" {
-		var filtered []experiments.Job
-		for _, j := range jobs {
-			if j.ID == *only {
-				filtered = append(filtered, j)
-			}
-		}
-		if len(filtered) == 0 {
-			fmt.Fprintf(os.Stderr, "experiments: no experiment named %q\n", *only)
-			os.Exit(2)
-		}
-		jobs = filtered
+		ids = []string{*only}
 	}
 
 	if *stream {
 		failed := false
-		for o := range runner.Stream(jobs) {
+		for o := range session.Experiments(ctx, ids) {
 			if o.Err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.ID, o.Err)
 				failed = true
 				continue
 			}
-			fmt.Printf("# %s finished in %s\n", o.ID, o.Elapsed.Round(1000))
+			if !*jsonOut {
+				fmt.Printf("# %s finished in %s\n", o.ID, o.Elapsed.Round(1000))
+			}
 			render(o.Table)
 		}
 		if failed {
@@ -76,20 +81,29 @@ func main() {
 		return
 	}
 
-	tables, err := runner.Collect(jobs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+	// Collect in battery order: stream everything, then print sorted.
+	tables := map[string]*podc.Table{}
+	for o := range session.Experiments(ctx, ids) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.ID, o.Err)
+			os.Exit(2)
+		}
+		tables[o.ID] = o.Table
 	}
-	for _, tbl := range tables {
-		render(tbl)
+	order := ids
+	if len(order) == 0 {
+		order = podc.ExperimentIDs()
+	}
+	for _, id := range order {
+		if tbl, ok := tables[id]; ok {
+			render(tbl)
+		}
 	}
 }
 
 // runSweep decides the cutoff correspondence for every requested ring size,
-// printing each verdict as it streams in and a sorted summary table at the
-// end.
-func runSweep(runner experiments.Runner, spec string, markdown bool) int {
+// printing each verdict as it streams in and a summary table at the end.
+func runSweep(ctx context.Context, session *podc.Session, spec string, jsonOut bool, render func(*podc.Table)) int {
 	var sizes []int
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -108,26 +122,30 @@ func runSweep(runner experiments.Runner, spec string, markdown bool) int {
 		return 2
 	}
 	failed := false
-	var rows []experiments.SweepRow
-	for row := range runner.CorrespondenceSweep(sizes) {
+	enc := json.NewEncoder(os.Stdout)
+	var rows []podc.SweepResult
+	for row := range session.Sweep(ctx, sizes) {
 		if row.Err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: r=%d: %v\n", row.R, row.Err)
 			failed = true
 			continue
 		}
-		fmt.Printf("r=%-4d states=%-8d corresponds=%-5v max degree=%-3d build=%-12s decide=%s\n",
-			row.R, row.States, row.Corresponds, row.MaxDegree, row.BuildElapsed.Round(1000), row.DecideElapsed.Round(1000))
 		rows = append(rows, row)
+		if jsonOut {
+			if err := enc.Encode(row); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+			continue
+		}
+		fmt.Printf("r=%-4d states=%-8d corresponds=%-5v max degree=%-3d build=%-12s decide=%s\n",
+			row.R, row.States, row.Corresponds, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000))
 	}
 	if failed {
 		return 2
 	}
-	tbl := experiments.SweepRowsTable(rows)
-	fmt.Println()
-	if markdown {
-		fmt.Println(tbl.Markdown())
-	} else {
-		fmt.Println(tbl.Text())
+	if !jsonOut {
+		fmt.Println()
+		render(podc.SweepResultsTable(rows))
 	}
 	return 0
 }

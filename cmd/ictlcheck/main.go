@@ -1,5 +1,5 @@
 // Command ictlcheck model checks CTL*/ICTL* formulas against a Kripke
-// structure given in the library's text format (see internal/kripke).
+// structure given in the library's text format.
 //
 // Usage:
 //
@@ -14,15 +14,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/bisim"
-	"repro/internal/kripke"
-	"repro/internal/logic"
-	"repro/internal/mc"
+	"repro/pkg/podc"
 )
 
 func main() {
@@ -38,6 +36,7 @@ func run() int {
 	makeTotal := flag.Bool("make-total", false, "add self loops to deadlock states before checking")
 	minimize := flag.Bool("minimize", false, "quotient the structure by its maximal self-correspondence before checking (CTL*-X truth is preserved; X and -witness refer to the quotient)")
 	flag.Parse()
+	ctx := context.Background()
 
 	if *modelPath == "" || (*formulaText == "" && *formulasPath == "") {
 		fmt.Fprintln(os.Stderr, "usage: ictlcheck -model FILE (-formula F | -formulas FILE) [-witness] [-restricted]")
@@ -51,7 +50,7 @@ func run() int {
 		return 2
 	}
 	defer f.Close()
-	m, err := kripke.DecodeText(f)
+	m, err := podc.ReadStructure(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ictlcheck:", err)
 		return 2
@@ -62,7 +61,7 @@ func run() int {
 	if err := m.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ictlcheck: warning:", err)
 	}
-	fmt.Println(m.ComputeStats())
+	fmt.Println(m.Summary())
 
 	var formulas []string
 	if *formulaText != "" {
@@ -77,26 +76,31 @@ func run() int {
 		formulas = append(formulas, fromFile...)
 	}
 
-	checker := mc.New(m)
+	var opts []podc.Option
 	if *minimize {
-		reduced, minres, err := mc.NewMinimized(m, bisim.Options{})
-		if minres == nil {
-			fmt.Printf("minimize: checking the original structure (%v)\n", err)
-		} else {
+		opts = append(opts, podc.WithMinimize())
+	}
+	verifier, err := podc.NewVerifier(ctx, m, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ictlcheck:", err)
+		return 2
+	}
+	if *minimize {
+		if verifier.Minimized() {
 			fmt.Printf("minimize: %d states -> %d quotient states (quotient verified to correspond)\n",
-				m.NumStates(), minres.Quotient.NumStates())
-			checker = reduced
-			m = minres.Quotient
+				m.NumStates(), verifier.Structure().NumStates())
+		} else {
+			fmt.Println("minimize: checking the original structure (quotient refused; see the podc.WithMinimize docs)")
 		}
 	}
 	allHold := true
 	for _, text := range formulas {
-		formula, err := logic.Parse(text)
+		formula, err := podc.ParseFormula(text)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ictlcheck: %q: %v\n", text, err)
 			return 2
 		}
-		holds, err := checker.Holds(formula)
+		holds, err := verifier.Check(ctx, formula)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ictlcheck: %q: %v\n", text, err)
 			return 2
@@ -108,16 +112,16 @@ func run() int {
 		}
 		fmt.Printf("%-6s  %s\n", status, text)
 		if *checkRestricted {
-			if violations := logic.CheckRestricted(formula); len(violations) == 0 {
+			if issues := formula.RestrictionIssues(); len(issues) == 0 {
 				fmt.Println("        in restricted ICTL* (transferable by the correspondence theorem)")
 			} else {
-				for _, v := range violations {
-					fmt.Println("        outside restricted ICTL*:", v.Error())
+				for _, issue := range issues {
+					fmt.Println("        outside restricted ICTL*:", issue)
 				}
 			}
 		}
 		if *witness {
-			printDiagnostic(checker, m, formula, holds)
+			printDiagnostic(ctx, verifier, formula, holds)
 		}
 	}
 	if allHold {
@@ -126,15 +130,15 @@ func run() int {
 	return 1
 }
 
-func printDiagnostic(checker *mc.Checker, m *kripke.Structure, formula logic.Formula, holds bool) {
+func printDiagnostic(ctx context.Context, verifier *podc.Verifier, formula podc.Formula, holds bool) {
 	if holds {
-		if trace, err := checker.Witness(formula, m.Initial()); err == nil {
-			fmt.Println("        witness:", trace.Format(m))
+		if trace, err := verifier.Witness(ctx, formula); err == nil {
+			fmt.Println("        witness:", trace)
 		}
 		return
 	}
-	if trace, err := checker.Counterexample(formula, m.Initial()); err == nil {
-		fmt.Println("        counterexample:", trace.Format(m))
+	if trace, err := verifier.Counterexample(ctx, formula); err == nil {
+		fmt.Println("        counterexample:", trace)
 	}
 }
 

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/pkg/podc"
+)
+
+// server holds the shared session every handler answers from.
+type server struct {
+	session *podc.Session
+	timeout time.Duration
+}
+
+// newHandler returns the service's HTTP handler over the given session.
+// timeout bounds each request's computation (0 means no bound beyond the
+// client's own disconnect).
+func newHandler(session *podc.Session, timeout time.Duration) http.Handler {
+	s := &server{session: session, timeout: timeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/correspond", s.handleCorrespond)
+	mux.HandleFunc("POST /v1/transfer", s.handleTransfer)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// requestContext derives the computation context for one request.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// checkRequest is the body of POST /v1/check.  The structure is given
+// either as a ring size (served from the session cache) or inline in the
+// library's text format.
+type checkRequest struct {
+	// Ring selects the token-ring instance M_ring.
+	Ring int `json:"ring,omitempty"`
+	// Structure is an inline structure in the text format (alternative to
+	// Ring).
+	Structure string `json:"structure,omitempty"`
+	// Formula is the CTL*/ICTL* formula to check (required).
+	Formula string `json:"formula"`
+	// Minimize quotients an inline structure before checking.
+	Minimize bool `json:"minimize,omitempty"`
+}
+
+type checkResponse struct {
+	Holds      bool   `json:"holds"`
+	Formula    string `json:"formula"`
+	Structure  string `json:"structure"`
+	States     int    `json:"states"`
+	Restricted bool   `json:"restricted"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req checkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	formula, err := podc.ParseFormula(req.Formula)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp := checkResponse{Formula: formula.String(), Restricted: formula.IsRestricted()}
+	switch {
+	case req.Ring > 0 && req.Structure != "":
+		httpError(w, http.StatusBadRequest, errors.New("give either ring or structure, not both"))
+		return
+	case req.Ring > 0:
+		rg, err := s.session.Ring(ctx, req.Ring)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		holds, err := s.session.CheckRing(ctx, req.Ring, formula)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		resp.Holds = holds
+		resp.Structure = rg.Structure().Name()
+		resp.States = rg.Structure().NumStates()
+	case req.Structure != "":
+		m, err := podc.ParseStructure(req.Structure)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// CTL* semantics needs a total transition relation; a deadlocked
+		// structure would get a verdict the logic does not define.
+		if err := m.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts := []podc.Option{}
+		if req.Minimize {
+			opts = append(opts, podc.WithMinimize())
+		}
+		v, err := podc.NewVerifier(ctx, m, opts...)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		holds, err := v.Check(ctx, formula)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		resp.Holds = holds
+		resp.Structure = m.Name()
+		resp.States = v.Structure().NumStates()
+	default:
+		httpError(w, http.StatusBadRequest, errors.New("missing ring size or inline structure"))
+		return
+	}
+	resp.ElapsedMS = time.Since(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// correspondRequest is the body of POST /v1/correspond.
+type correspondRequest struct {
+	// Small and Large select the ring sizes to compare (Small defaults to
+	// the corrected cutoff, 3).
+	Small int `json:"small,omitempty"`
+	Large int `json:"large"`
+}
+
+type correspondResponse struct {
+	Small        int              `json:"small"`
+	Large        int              `json:"large"`
+	Corresponds  bool             `json:"corresponds"`
+	MaxDegree    int              `json:"max_degree"`
+	IndexPairs   int              `json:"index_pairs"`
+	FailingPairs []podc.IndexPair `json:"failing_pairs,omitempty"`
+	ElapsedMS    int64            `json:"elapsed_ms"`
+}
+
+func (s *server) handleCorrespond(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req correspondRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Small == 0 {
+		req.Small = podc.RingCutoffSize
+	}
+	if req.Small < 2 || req.Large < req.Small {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need 2 <= small <= large, got small=%d large=%d", req.Small, req.Large))
+		return
+	}
+	start := time.Now()
+	corr, err := s.session.RingCorrespondence(ctx, req.Small, req.Large)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, correspondResponse{
+		Small:        req.Small,
+		Large:        req.Large,
+		Corresponds:  corr.Corresponds(),
+		MaxDegree:    corr.MaxDegree(),
+		IndexPairs:   len(corr.IndexRelation()),
+		FailingPairs: corr.FailingPairs(),
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	})
+}
+
+// transferRequest is the body of POST /v1/transfer.
+type transferRequest struct {
+	Small int `json:"small,omitempty"`
+	Large int `json:"large"`
+}
+
+func (s *server) handleTransfer(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req transferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Small == 0 {
+		req.Small = podc.RingCutoffSize
+	}
+	if req.Small < 2 || req.Large < req.Small {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need 2 <= small <= large, got small=%d large=%d", req.Small, req.Large))
+		return
+	}
+	cert, err := s.session.RingTransferCertificate(ctx, req.Small, req.Large)
+	if err != nil {
+		// "do not correspond" is a client-side fact, not a server fault.
+		status := statusFor(err)
+		if status == http.StatusInternalServerError && strings.Contains(err.Error(), "do not correspond") {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cert)
+}
+
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	id := r.PathValue("id")
+	tbl, err := s.session.Experiment(ctx, id)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError && strings.Contains(err.Error(), "unknown experiment") {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tbl)
+}
+
+// statusFor maps computation errors to HTTP statuses: a cancelled or
+// expired request context is the client's doing, and a size beyond the
+// explicit-construction limit is an input that can never succeed.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, podc.ErrTooLarge):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

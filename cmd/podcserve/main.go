@@ -1,0 +1,51 @@
+// Command podcserve exposes the library's verification engines as an
+// HTTP/JSON service.  All requests are answered from one shared
+// podc.Session, so built ring instances, memoised satisfaction sets,
+// decided correspondences and finished experiment tables are computed once
+// and reused across requests; identical concurrent requests share a single
+// computation.  Request contexts are plumbed down into the engines, so a
+// client that disconnects (or a deadline that expires) stops the underlying
+// computation promptly.
+//
+// Endpoints:
+//
+//	POST /v1/check             model check a formula (ring size or inline structure)
+//	POST /v1/correspond        decide the indexed ring correspondence M_small ~ M_large
+//	POST /v1/transfer          build the JSON transfer certificate for (small, large)
+//	GET  /v1/experiments/{id}  run (once) and return an experiment table, e.g. E6
+//	GET  /healthz              liveness probe
+//
+// Usage:
+//
+//	podcserve -addr :8080 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/pkg/podc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool cap for correspondences and experiments (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request computation deadline (0 = none)")
+	flag.Parse()
+
+	session := podc.NewSession(podc.WithWorkers(*workers))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(session, *timeout),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("podcserve: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "podcserve:", err)
+		os.Exit(1)
+	}
+}

@@ -14,15 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"repro/internal/bisim"
-	"repro/internal/logic"
-	"repro/internal/mc"
-	"repro/internal/ring"
+	"repro/pkg/podc"
 )
 
 func main() {
@@ -36,9 +33,10 @@ func run() int {
 	buggy := flag.Bool("buggy", false, "verify the deliberately broken protocol variant instead (shows a counterexample)")
 	seed := flag.Int64("seed", 1, "random seed for local sampling")
 	flag.Parse()
+	ctx := context.Background()
 
 	if *local > 0 {
-		return runLocal(*r, *local, *seed)
+		return runLocal(ctx, *r, *local, *seed)
 	}
 
 	inst, err := buildInstance(*r, *buggy)
@@ -46,17 +44,22 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ringverify:", err)
 		return 2
 	}
-	fmt.Println(inst.M.ComputeStats())
+	m := inst.Structure()
+	fmt.Println(m.Summary())
 	if err := inst.CheckPartitionInvariant(); err != nil {
 		fmt.Println("partition invariant:", err)
 	} else {
 		fmt.Println("partition invariant: holds (structural check)")
 	}
 
-	checker := mc.New(inst.M)
+	verifier, err := podc.NewVerifier(ctx, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringverify:", err)
+		return 2
+	}
 	allHold := true
-	for _, nf := range append(ring.Invariants(), ring.Properties()...) {
-		holds, err := checker.Holds(nf.Formula)
+	for _, spec := range append(podc.RingInvariants(), podc.RingProperties()...) {
+		holds, err := verifier.Check(ctx, spec.Formula)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return 2
@@ -66,17 +69,23 @@ func run() int {
 			status = "FAILS"
 			allHold = false
 		}
-		fmt.Printf("  %-6s %-28s %s\n", status, nf.Name, nf.Formula)
+		fmt.Printf("  %-6s %-28s %s\n", status, spec.Name, spec.Formula)
 		if !holds {
-			if cx, err := checker.Counterexample(counterexampleShape(nf.Formula, inst), inst.M.Initial()); err == nil {
-				fmt.Println("         counterexample:", cx.Format(inst.M))
+			// Instantiate the indexed quantifiers so the counterexample
+			// machinery (which handles A-rooted CTL) can be applied.
+			shape := spec.Formula
+			if inst, err := spec.Formula.Instantiate(m.IndexValues()); err == nil {
+				shape = inst
+			}
+			if cx, err := verifier.Counterexample(ctx, shape); err == nil {
+				fmt.Println("         counterexample:", cx)
 			}
 		}
 	}
 
 	if *correspond {
 		fmt.Println()
-		runCorrespondence(inst)
+		runCorrespondence(ctx, inst)
 	}
 	if allHold {
 		return 0
@@ -84,34 +93,24 @@ func run() int {
 	return 1
 }
 
-func buildInstance(r int, buggy bool) (*ring.Instance, error) {
+func buildInstance(r int, buggy bool) (*podc.Ring, error) {
 	if buggy {
-		return ring.BuildBuggy(r)
+		return podc.BuildBuggyRing(r)
 	}
-	return ring.Build(r)
+	return podc.BuildRing(r)
 }
 
-// counterexampleShape instantiates the indexed quantifiers so the
-// counterexample machinery (which handles A-rooted CTL) can be applied.
-func counterexampleShape(f logic.Formula, inst *ring.Instance) logic.Formula {
-	instantiated, err := logic.Instantiate(f, inst.M.IndexValues())
-	if err != nil {
-		return f
-	}
-	return instantiated
-}
-
-func runCorrespondence(inst *ring.Instance) {
-	for _, small := range []int{2, ring.CutoffSize} {
-		if small > inst.R {
+func runCorrespondence(ctx context.Context, inst *podc.Ring) {
+	for _, small := range []int{2, podc.RingCutoffSize} {
+		if small > inst.Size() {
 			continue
 		}
-		smallInst, err := ring.Build(small)
+		smallInst, err := podc.BuildRing(small)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return
 		}
-		res, err := ring.DecideCorrespondence(smallInst, inst)
+		res, err := podc.RingCorrespondence(ctx, smallInst, inst)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return
@@ -120,47 +119,30 @@ func runCorrespondence(inst *ring.Instance) {
 		if res.Corresponds() {
 			verdict = "indexed-correspond (Theorem 5 transfers restricted ICTL*)"
 		}
-		fmt.Printf("M_%d and M_%d %s\n", small, inst.R, verdict)
+		fmt.Printf("M_%d and M_%d %s\n", small, inst.Size(), verdict)
 	}
-	chi := ring.DistinguishingFormula()
-	holds, err := mc.New(inst.M).Holds(chi)
-	if err == nil {
-		fmt.Printf("distinguishing formula %s\n  holds on M_%d: %v (it is false on M_2)\n", chi, inst.R, holds)
+	chi := podc.RingDistinguishingFormula()
+	verifier, err := podc.NewVerifier(ctx, inst.Structure())
+	if err != nil {
+		return
+	}
+	if holds, err := verifier.Check(ctx, chi); err == nil {
+		fmt.Printf("distinguishing formula %s\n  holds on M_%d: %v (it is false on M_2)\n", chi, inst.Size(), holds)
 	}
 }
 
-func runLocal(r, samples int, seed int64) int {
-	small, err := ring.Build(2)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ringverify:", err)
-		return 2
-	}
-	rng := rand.New(rand.NewSource(seed))
-	next := func(n int) int { return rng.Intn(n) }
+func runLocal(ctx context.Context, r, samples int, seed int64) int {
 	fmt.Printf("local clause checking of the Section 5 relation against a %d-process ring (state graph never built)\n", r)
 	violationsFound := false
-	for _, variant := range []ring.RelationVariant{ring.PaperRelation, ring.CorrectedRelation} {
-		lc, err := ring.NewLocalChecker(variant, small, r)
+	for _, variant := range []podc.RingRelationVariant{podc.RingPaperRelation, podc.RingCorrectedRelation} {
+		rep, err := podc.RingLocalCheck(ctx, variant, r, samples, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return 2
 		}
-		count := 0
-		var first *ring.LocalViolation
-		for i := 0; i < samples; i++ {
-			g := ring.RandomReachableState(r, next)
-			for _, pair := range []bisim.IndexPair{{I: 1, I2: 1}, {I: 2, I2: 2 + next(r-1)}} {
-				vs := lc.CheckState(g, pair.I, pair.I2)
-				count += len(vs)
-				if len(vs) > 0 && first == nil {
-					v := vs[0]
-					first = &v
-				}
-			}
-		}
-		fmt.Printf("  %-9s relation: %d violations over %d sampled states\n", variant, count, samples)
-		if first != nil {
-			fmt.Println("    e.g.", first.Error())
+		fmt.Printf("  %-9s relation: %d violations over %d sampled states\n", rep.Variant, rep.Violations, rep.SampledStates)
+		if rep.FirstViolation != "" {
+			fmt.Println("    e.g.", rep.FirstViolation)
 			violationsFound = true
 		}
 	}

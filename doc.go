@@ -2,8 +2,10 @@
 // "Reasoning about Networks with Many Identical Finite State Processes"
 // (PODC 1986; Information and Computation 81, 1989).
 //
-// The implementation lives under internal/ (see DESIGN.md for the map), the
-// runnable examples under examples/, the command line tools under cmd/, and
-// the benchmark harness that regenerates every figure and table of the paper
-// in bench_test.go and internal/experiments.
+// The supported entry point is the public API in pkg/podc (see its package
+// documentation); the engines live under internal/ (see DESIGN.md for the
+// map).  The runnable examples are under examples/, the command line tools
+// and the HTTP verification service under cmd/, and the benchmark harness
+// that regenerates every figure and table of the paper in bench_test.go and
+// internal/experiments.
 package repro

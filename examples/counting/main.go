@@ -11,30 +11,41 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/logic"
-	"repro/internal/mc"
-	"repro/internal/paperfig"
+	"repro/pkg/podc"
 )
 
 func main() {
+	ctx := context.Background()
 	const maxN = 5
 	fmt.Println("Fig. 4.1: each process starts with a_i and may take one step, after which b_i holds forever.")
 	fmt.Println()
 
+	// Build each family member once; the verifiers memoise satisfaction
+	// sets, so every formula below reuses them.
+	verifiers := make([]*podc.Verifier, maxN+1)
+	for n := 1; n <= maxN; n++ {
+		m, err := podc.CountingStructure(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := podc.NewVerifier(ctx, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verifiers[n] = v
+	}
+
 	// The nested counting formulas.
 	fmt.Println("Nested (unrestricted) counting formulas — truth depends on the number of processes:")
 	for k := 1; k <= 4; k++ {
-		f := paperfig.Fig41CountingFormula(k)
-		fmt.Printf("  depth %d: %s\n    restricted ICTL*? %v\n    ", k, f, logic.IsRestricted(f))
+		f := podc.CountingFormula(k)
+		fmt.Printf("  depth %d: %s\n    restricted ICTL*? %v\n    ", k, f, f.IsRestricted())
 		for n := 1; n <= maxN; n++ {
-			m, err := paperfig.Fig41(n)
-			if err != nil {
-				log.Fatal(err)
-			}
-			holds, err := mc.New(m).Holds(f)
+			holds, err := verifiers[n].Check(ctx, f)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -45,23 +56,19 @@ func main() {
 	fmt.Println()
 
 	// Why the formula is rejected.
-	deep := paperfig.Fig41CountingFormula(2)
+	deep := podc.CountingFormula(2)
 	fmt.Println("Why the restriction rejects the depth-2 formula:")
-	for _, v := range logic.CheckRestricted(deep) {
-		fmt.Println("  -", v.Error())
+	for _, issue := range deep.RestrictionIssues() {
+		fmt.Println("  -", issue)
 	}
 	fmt.Println()
 
 	// Restricted formulas cannot count.
 	fmt.Println("Restricted ICTL* formulas — truth is independent of the number of processes (n >= 2):")
-	for _, f := range paperfig.Fig41RestrictedFormulas() {
+	for _, f := range podc.CountingRestrictedFormulas() {
 		fmt.Printf("  %-30s ", f)
 		for n := 2; n <= maxN; n++ {
-			m, err := paperfig.Fig41(n)
-			if err != nil {
-				log.Fatal(err)
-			}
-			holds, err := mc.New(m).Holds(f)
+			holds, err := verifiers[n].Check(ctx, f)
 			if err != nil {
 				log.Fatal(err)
 			}

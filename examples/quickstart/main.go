@@ -1,8 +1,8 @@
-// Command quickstart is the smallest end-to-end tour of the library: build a
-// Kripke structure, model check CTL and CTL* formulas against it, obtain a
-// counterexample, and decide whether two structures satisfy the same CTL*
-// (no nexttime) formulas via the correspondence relation of Browne, Clarke
-// and Grumberg.
+// Command quickstart is the smallest end-to-end tour of the public API:
+// build a Kripke structure, model check CTL and CTL* formulas against it,
+// obtain a counterexample, and decide whether two structures satisfy the
+// same CTL* (no nexttime) formulas via the correspondence relation of
+// Browne, Clarke and Grumberg.
 //
 // Run it with:
 //
@@ -10,23 +10,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bisim"
-	"repro/internal/kripke"
-	"repro/internal/logic"
-	"repro/internal/mc"
+	"repro/pkg/podc"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A tiny traffic light: green -> yellow -> red -> green, with a pedestrian
 	// request that latches until served.
-	b := kripke.NewBuilder("traffic-light")
-	green := b.AddState(kripke.P("green"))
-	yellow := b.AddState(kripke.P("yellow"))
-	red := b.AddState(kripke.P("red"), kripke.P("walk"))
-	for _, e := range [][2]kripke.State{{green, yellow}, {yellow, red}, {red, green}, {green, green}} {
+	b := podc.NewBuilder("traffic-light")
+	green := b.AddState(podc.P("green"))
+	yellow := b.AddState(podc.P("yellow"))
+	red := b.AddState(podc.P("red"), podc.P("walk"))
+	for _, e := range [][2]podc.State{{green, yellow}, {yellow, red}, {red, green}, {green, green}} {
 		if err := b.AddTransition(e[0], e[1]); err != nil {
 			log.Fatal(err)
 		}
@@ -38,9 +38,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(m.ComputeStats())
+	fmt.Println(m.Summary())
 
-	checker := mc.New(m)
+	verifier, err := podc.NewVerifier(ctx, m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, text := range []string{
 		"AG (yellow -> AX red)",     // CTL with nexttime
 		"AG (red -> walk)",          // a simple invariant
@@ -49,8 +52,8 @@ func main() {
 		"E ((G !red) & (F yellow))", // another CTL* path formula
 		"AF red",                    // fails: the light may idle on green forever
 	} {
-		f := logic.MustParse(text)
-		holds, err := checker.Holds(f)
+		f := podc.MustParseFormula(text)
+		holds, err := verifier.Check(ctx, f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,20 +61,20 @@ func main() {
 	}
 
 	// Counterexample for the failing property.
-	cx, err := checker.Counterexample(logic.MustParse("AF red"), m.Initial())
+	cx, err := verifier.Counterexample(ctx, podc.MustParseFormula("AF red"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("counterexample for AF red:", cx.Format(m))
+	fmt.Println("counterexample for AF red:", cx)
 
 	// Correspondence: a stuttered copy of the light (two yellow phases)
 	// satisfies exactly the same CTL* formulas without nexttime.
-	b2 := kripke.NewBuilder("slow-light")
-	g2 := b2.AddState(kripke.P("green"))
-	y2a := b2.AddState(kripke.P("yellow"))
-	y2b := b2.AddState(kripke.P("yellow"))
-	r2 := b2.AddState(kripke.P("red"), kripke.P("walk"))
-	for _, e := range [][2]kripke.State{{g2, y2a}, {y2a, y2b}, {y2b, r2}, {r2, g2}, {g2, g2}} {
+	b2 := podc.NewBuilder("slow-light")
+	g2 := b2.AddState(podc.P("green"))
+	y2a := b2.AddState(podc.P("yellow"))
+	y2b := b2.AddState(podc.P("yellow"))
+	r2 := b2.AddState(podc.P("red"), podc.P("walk"))
+	for _, e := range [][2]podc.State{{g2, y2a}, {y2a, y2b}, {y2b, r2}, {r2, g2}, {g2, g2}} {
 		if err := b2.AddTransition(e[0], e[1]); err != nil {
 			log.Fatal(err)
 		}
@@ -83,12 +86,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := bisim.Compute(m, slow, bisim.Options{})
+	corr, err := podc.Correspond(ctx, m, slow)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("traffic-light and slow-light correspond: %v (max stuttering degree %d)\n",
-		res.Corresponds(), res.Relation.MaxDegree())
+		corr.Corresponds(), corr.MaxDegree())
 	fmt.Println("=> by the correspondence theorem they satisfy the same CTL* formulas without X;")
 	fmt.Println("   the nexttime formula AG (yellow -> AX red) is exactly the kind of property that is NOT preserved.")
 }

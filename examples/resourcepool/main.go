@@ -1,5 +1,5 @@
 // Command resourcepool applies the library to a second family of identical
-// processes, built with the generic process/network substrate rather than
+// processes, built with the generic process-network substrate rather than
 // the hand-coded ring: n clients compete for a single shared resource that
 // is granted nondeterministically to one of the waiting clients and must be
 // released before the next grant.  The example demonstrates that the paper's
@@ -13,104 +13,97 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bisim"
-	"repro/internal/core"
-	"repro/internal/kripke"
-	"repro/internal/logic"
-	"repro/internal/process"
+	"repro/pkg/podc"
 )
 
 // buildPool returns the Kripke structure of the n-client resource pool.
 // Each client is idle, waiting or using; any waiting client may be granted
 // the resource when it is free, and must release it before the next grant.
-func buildPool(n int) (*kripke.Structure, error) {
-	tpl := &process.Template{
-		Name:    "client",
-		States:  []string{"idle", "waiting", "using"},
-		Initial: "idle",
-		Labels: map[string][]string{
-			"idle":    {"idle"},
-			"waiting": {"wait"},
-			"using":   {"use"},
+func buildPool(n int) (*podc.Structure, error) {
+	net := &podc.Network{
+		Template: &podc.ProcessTemplate{
+			Name:    "client",
+			States:  []string{"idle", "waiting", "using"},
+			Initial: "idle",
+			Labels: map[string][]string{
+				"idle":    {"idle"},
+				"waiting": {"wait"},
+				"using":   {"use"},
+			},
 		},
-	}
-	net := &process.Network{
-		Template: tpl,
-		N:        n,
-		Rules: []process.Rule{
+		N: n,
+		Rules: []podc.NetworkRule{
 			{
 				Name:  "request",
-				Guard: func(v process.View, i int) bool { return v.Local(i) == "idle" },
-				Apply: func(v process.View, i int) process.Update {
-					return process.Update{Locals: map[int]string{i: "waiting"}}
+				Guard: func(v podc.NetworkView, i int) bool { return v.Local(i) == "idle" },
+				Apply: func(v podc.NetworkView, i int) podc.NetworkUpdate {
+					return podc.NetworkUpdate{Locals: map[int]string{i: "waiting"}}
 				},
 			},
 			{
 				Name: "grant",
-				Guard: func(v process.View, i int) bool {
+				Guard: func(v podc.NetworkView, i int) bool {
 					return v.Local(i) == "waiting" && v.CountLocal("using") == 0
 				},
-				Apply: func(v process.View, i int) process.Update {
-					return process.Update{Locals: map[int]string{i: "using"}}
+				Apply: func(v podc.NetworkView, i int) podc.NetworkUpdate {
+					return podc.NetworkUpdate{Locals: map[int]string{i: "using"}}
 				},
 			},
 			{
 				Name:  "release",
-				Guard: func(v process.View, i int) bool { return v.Local(i) == "using" },
-				Apply: func(v process.View, i int) process.Update {
-					return process.Update{Locals: map[int]string{i: "idle"}}
+				Guard: func(v podc.NetworkView, i int) bool { return v.Local(i) == "using" },
+				Apply: func(v podc.NetworkView, i int) podc.NetworkUpdate {
+					return podc.NetworkUpdate{Locals: map[int]string{i: "idle"}}
 				},
 			},
 		},
 	}
-	return net.BuildKripke(process.BuildOptions{Name: fmt.Sprintf("pool[%d]", n)})
+	return net.Build(fmt.Sprintf("pool[%d]", n))
 }
 
 func main() {
-	specs := []core.Spec{
-		{Name: "mutual-exclusion", Formula: logic.MustParse("forall i . AG (use[i] -> (one use))")},
-		{Name: "use-only-after-waiting", Formula: logic.MustParse("forall i . A (!use[i] W wait[i])")},
-		{Name: "requests-are-stable", Formula: logic.MustParse("forall i . AG (wait[i] -> A[wait[i] W use[i]])")},
-		{Name: "service-always-possible", Formula: logic.MustParse("forall i . AG (wait[i] -> EF use[i])")},
+	ctx := context.Background()
+	specs := []podc.Spec{
+		{Name: "mutual-exclusion", Formula: podc.MustParseFormula("forall i . AG (use[i] -> (one use))")},
+		{Name: "use-only-after-waiting", Formula: podc.MustParseFormula("forall i . A (!use[i] W wait[i])")},
+		{Name: "requests-are-stable", Formula: podc.MustParseFormula("forall i . AG (wait[i] -> A[wait[i] W use[i]])")},
+		{Name: "service-always-possible", Formula: podc.MustParseFormula("forall i . AG (wait[i] -> EF use[i])")},
 	}
 	for _, s := range specs {
-		fmt.Printf("spec %-24s restricted ICTL*: %v\n", s.Name, logic.IsRestricted(s.Formula))
+		fmt.Printf("spec %-24s restricted ICTL*: %v\n", s.Name, s.Formula.IsRestricted())
 	}
 	fmt.Println()
 
-	family := &core.FamilyFunc{
+	family := &podc.FamilyFunc{
 		FamilyName: "resource-pool",
-		Build:      buildPool,
-		Indices: func(small, n int) []bisim.IndexPair {
+		BuildFunc:  buildPool,
+		Indices: func(small, n int) []podc.IndexPair {
 			// All clients are fully interchangeable, so pair equal positions
 			// first and fold the tail onto the last small client.
-			var out []bisim.IndexPair
+			var out []podc.IndexPair
 			for i := 1; i <= small; i++ {
-				out = append(out, bisim.IndexPair{I: i, I2: i})
+				out = append(out, podc.IndexPair{I: i, I2: i})
 			}
 			for j := small + 1; j <= n; j++ {
-				out = append(out, bisim.IndexPair{I: small, I2: j})
+				out = append(out, podc.IndexPair{I: small, I2: j})
 			}
 			return out
 		},
-		Ones: []string{"use"},
+		AtomNames: []string{"use"},
 	}
 
 	// Find the smallest cutoff from which every larger pool corresponds.
 	const largest = 6
 	cutoff := -1
 	for small := 1; small <= 4 && cutoff < 0; small++ {
-		verifier, err := core.NewVerifier(family, core.Options{
-			SmallSize:           small,
-			CorrespondenceSizes: rangeInts(small+1, largest),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		report, err := verifier.Run(specs)
+		report, err := podc.VerifyFamily(ctx, family, specs,
+			podc.WithSmallSize(small),
+			podc.WithCorrespondenceSizes(rangeInts(small+1, largest)...),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,12 +1,12 @@
-// Command tokenring reproduces the paper's Section 5 case study end to end:
+// Command tokenring reproduces the paper's Section 5 case study end to end
+// through the public API:
 //
-//  1. build the global state graph of the token-ring mutual exclusion
-//     protocol for small ring sizes,
-//  2. model check the Section 5 invariants and the four ICTL* properties,
-//  3. run the correspondence decision procedure between small and large
-//     instances, reproducing both halves of the reproduction finding (the
-//     two-process cutoff fails; the three-process cutoff works), and
-//  4. check the Appendix's hand-built relation locally at a 1000-process
+//  1. run the paper's verification methodology for the token-ring family
+//     (model check the cutoff instance, establish the correspondences,
+//     transfer by Theorem 5) with podc.VerifyFamily,
+//  2. reproduce both halves of the reproduction finding (the two-process
+//     cutoff fails; the three-process cutoff works), and
+//  3. check the Appendix's hand-built relation locally at a 1000-process
 //     ring — a structure with 1000·2^1000 states that is never built.
 //
 // Run it with:
@@ -15,94 +15,73 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/bisim"
-	"repro/internal/core"
-	"repro/internal/kripke"
-	"repro/internal/mc"
-	"repro/internal/ring"
+	"repro/pkg/podc"
 )
 
 func main() {
-	// Step 1+2: the paper's workflow through the core.Verifier, starting from
-	// the corrected cutoff instance (three processes).
-	family := &core.FamilyFunc{
-		FamilyName: "token-ring",
-		Build: func(n int) (*kripke.Structure, error) {
-			inst, err := ring.Build(n)
-			if err != nil {
-				return nil, err
-			}
-			return inst.M, nil
-		},
-		Indices: func(small, n int) []bisim.IndexPair { return ring.CutoffIndexRelation(small, n) },
-		Ones:    []string{ring.PropToken},
-	}
-	var specs []core.Spec
-	for _, nf := range append(ring.Invariants(), ring.Properties()...) {
-		specs = append(specs, core.Spec{Name: nf.Name, Formula: nf.Formula})
-	}
-	verifier, err := core.NewVerifier(family, core.Options{
-		SmallSize:           ring.CutoffSize,
-		CorrespondenceSizes: []int{4, 5, 6, 7},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report, err := verifier.Run(specs)
+	ctx := context.Background()
+
+	// Step 1: the paper's workflow for the whole family, starting from the
+	// corrected cutoff instance (three processes).
+	specs := append(podc.RingInvariants(), podc.RingProperties()...)
+	report, err := podc.VerifyFamily(ctx, podc.TokenRingFamily(), specs,
+		podc.WithSmallSize(podc.RingCutoffSize),
+		podc.WithCorrespondenceSizes(4, 5, 6, 7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(report.Summary())
 	fmt.Println()
 
-	// Step 3: the reproduction finding about the paper's own cutoff of two.
-	two, err := ring.Build(2)
+	// Step 2: the reproduction finding about the paper's own cutoff of two.
+	two, err := podc.BuildRing(2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	three, err := ring.Build(3)
+	three, err := podc.BuildRing(3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
-	res, err := bisim.IndexedCompute(two.M, three.M, ring.IndexRelation(2, 3), opts)
+	res, err := podc.RingCorrespondence(ctx, two, three)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Paper's claim: M_2 indexed-corresponds to M_3?  decision procedure says: %v\n", res.Corresponds())
-	chi := ring.DistinguishingFormula()
-	h2, err := mc.New(two.M).Holds(chi)
+
+	chi := podc.RingDistinguishingFormula()
+	v2, err := podc.NewVerifier(ctx, two.Structure())
 	if err != nil {
 		log.Fatal(err)
 	}
-	h3, err := mc.New(three.M).Holds(chi)
+	h2, err := v2.Check(ctx, chi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v3, err := podc.NewVerifier(ctx, three.Structure())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h3, err := v3.Check(ctx, chi)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Witnessing restricted ICTL* formula:\n  %s\n  holds on M_2: %v   holds on M_3: %v\n\n", chi, h2, h3)
 
-	// Step 4: local clause checking of the Appendix relation at r = 1000.
+	// Step 3: local clause checking of the Appendix relation at r = 1000.
 	const r = 1000
 	fmt.Printf("Checking the Section 5 / Appendix relation locally at a %d-process ring (never built):\n", r)
-	rng := rand.New(rand.NewSource(1))
-	next := func(n int) int { return rng.Intn(n) }
-	for _, variant := range []ring.RelationVariant{ring.PaperRelation, ring.CorrectedRelation} {
-		lc, err := ring.NewLocalChecker(variant, two, r)
+	for _, variant := range []podc.RingRelationVariant{podc.RingPaperRelation, podc.RingCorrectedRelation} {
+		rep, err := podc.RingLocalCheck(ctx, variant, r, 15, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		violations := 0
-		samples := 15
-		for i := 0; i < samples; i++ {
-			g := ring.RandomReachableState(r, next)
-			violations += len(lc.CheckState(g, 1, 1))
-			violations += len(lc.CheckState(g, 2, r/2))
-		}
-		fmt.Printf("  %-9s relation: %d clause violations across %d sampled states\n", variant, violations, samples)
+		fmt.Printf("  %-9s relation: %d clause violations across %d sampled states\n",
+			rep.Variant, rep.Violations, rep.SampledStates)
 	}
 	fmt.Println("\n=> the Appendix relation fails even at r=1000, while the three-process cutoff established")
 	fmt.Printf("   above transfers the four Section 5 properties to every ring size, including %d.\n", r)

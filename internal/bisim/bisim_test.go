@@ -1,6 +1,7 @@
 package bisim_test
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"testing"
@@ -134,7 +135,7 @@ func TestStutterInsensitiveCorrespondence(t *testing.T) {
 	base := twoStateCycle(t)
 	for stutter := 0; stutter <= 3; stutter++ {
 		other := stutteredCycle(t, stutter)
-		res, err := bisim.Compute(base, other, bisim.Options{})
+		res, err := bisim.Compute(context.Background(), base, other, bisim.Options{})
 		if err != nil {
 			t.Fatalf("bisim.Compute: %v", err)
 		}
@@ -160,7 +161,7 @@ func TestFig31StyleDegrees(t *testing.T) {
 	// exactly; s1' (right, state 0) corresponds to s1 with degree 2.
 	left := twoStateCycle(t)
 	right := stutteredCycle(t, 2)
-	res, err := bisim.Compute(left, right, bisim.Options{})
+	res, err := bisim.Compute(context.Background(), left, right, bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.Compute: %v", err)
 	}
@@ -184,7 +185,7 @@ func TestDifferentLabelsDoNotCorrespond(t *testing.T) {
 	must(t, b.AddTransition(s0, s0))
 	must(t, b.SetInitial(s0))
 	other := build(t, b)
-	res, err := bisim.Compute(twoStateCycle(t), other, bisim.Options{})
+	res, err := bisim.Compute(context.Background(), twoStateCycle(t), other, bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.Compute: %v", err)
 	}
@@ -214,7 +215,7 @@ func TestDivergenceIsDistinguished(t *testing.T) {
 	must(t, b2.SetInitial(t0))
 	progressing := build(t, b2)
 
-	res, err := bisim.Compute(diverging, progressing, bisim.Options{})
+	res, err := bisim.Compute(context.Background(), diverging, progressing, bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.Compute: %v", err)
 	}
@@ -224,11 +225,11 @@ func TestDivergenceIsDistinguished(t *testing.T) {
 
 	// Sanity: the distinguishing CTL* formula really differs.
 	f := logic.MustParse("EF b")
-	holdsLeft, err := mc.New(diverging).Holds(f)
+	holdsLeft, err := mc.New(diverging).Holds(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	holdsRight, err := mc.New(progressing).Holds(f)
+	holdsRight, err := mc.New(progressing).Holds(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestFiniteStutterVersusPureDivergence(t *testing.T) {
 	must(t, b2.SetInitial(da))
 	divergent := build(t, b2)
 
-	res, err := bisim.Compute(finite, divergent, bisim.Options{})
+	res, err := bisim.Compute(context.Background(), finite, divergent, bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.Compute: %v", err)
 	}
@@ -320,7 +321,7 @@ func TestTheorem2OnRandomStructures(t *testing.T) {
 	for iter := 0; iter < 120; iter++ {
 		m1 := randomLabelledStructure(r, 2+r.Intn(4), "left")
 		m2 := randomLabelledStructure(r, 2+r.Intn(4), "right")
-		res, err := bisim.Compute(m1, m2, bisim.Options{ReachableOnly: true})
+		res, err := bisim.Compute(context.Background(), m1, m2, bisim.Options{ReachableOnly: true})
 		if err != nil {
 			t.Fatalf("bisim.Compute: %v", err)
 		}
@@ -333,11 +334,11 @@ func TestTheorem2OnRandomStructures(t *testing.T) {
 		c1 := mc.New(m1)
 		c2 := mc.New(m2)
 		for _, f := range formulas {
-			h1, err := c1.Holds(f)
+			h1, err := c1.Holds(context.Background(), f)
 			if err != nil {
 				t.Fatal(err)
 			}
-			h2, err := c2.Holds(f)
+			h2, err := c2.Holds(context.Background(), f)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -367,7 +368,7 @@ func TestComputeCheckAgreement(t *testing.T) {
 	for iter := 0; iter < 60 && checked < 10; iter++ {
 		m1 := randomLabelledStructure(r, 2+r.Intn(3), "left")
 		m2 := randomLabelledStructure(r, 2+r.Intn(3), "right")
-		res, err := bisim.Compute(m1, m2, bisim.Options{ReachableOnly: true})
+		res, err := bisim.Compute(context.Background(), m1, m2, bisim.Options{ReachableOnly: true})
 		if err != nil {
 			t.Fatalf("bisim.Compute: %v", err)
 		}
@@ -453,7 +454,7 @@ func TestCheckDetectsBadRelations(t *testing.T) {
 
 func TestMinimizeCollapsesStutterChain(t *testing.T) {
 	m := stutteredCycle(t, 3)
-	res, err := bisim.Minimize(m, bisim.Options{})
+	res, err := bisim.Minimize(context.Background(), m, bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.Minimize: %v", err)
 	}
@@ -480,11 +481,11 @@ func TestMinimizeCollapsesStutterChain(t *testing.T) {
 	// The quotient preserves CTL* (no X) formulas.
 	for _, text := range []string{"AF b", "AG (a -> AF b)", "EG a", "A (a U b)"} {
 		f := logic.MustParse(text)
-		h1, err := mc.New(m).Holds(f)
+		h1, err := mc.New(m).Holds(context.Background(), f)
 		if err != nil {
 			t.Fatal(err)
 		}
-		h2, err := mc.New(res.Quotient).Holds(f)
+		h2, err := mc.New(res.Quotient).Holds(context.Background(), f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -495,11 +496,11 @@ func TestMinimizeCollapsesStutterChain(t *testing.T) {
 	// But it legitimately changes nexttime formulas — that is exactly why the
 	// paper excludes X.
 	xf := logic.MustParse("AX b")
-	h1, err := mc.New(m).Holds(xf)
+	h1, err := mc.New(m).Holds(context.Background(), xf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := mc.New(res.Quotient).Holds(xf)
+	h2, err := mc.New(res.Quotient).Holds(context.Background(), xf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -510,7 +511,7 @@ func TestMinimizeCollapsesStutterChain(t *testing.T) {
 
 func TestMinimizeIdempotentOnMinimalStructure(t *testing.T) {
 	m := twoStateCycle(t)
-	res, err := bisim.Minimize(m, bisim.Options{})
+	res, err := bisim.Minimize(context.Background(), m, bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.Minimize: %v", err)
 	}
@@ -541,7 +542,7 @@ func TestIndexedCorrespondence(t *testing.T) {
 	m2 := build1("m2", 5, 1)
 
 	in := []bisimIndexPairAlias{{1, 5}, {2, 1}}
-	res, err := bisim.IndexedCompute(m1, m2, toIndexPairs(in), bisim.Options{})
+	res, err := bisim.IndexedCompute(context.Background(), m1, m2, toIndexPairs(in), bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.IndexedCompute: %v", err)
 	}
@@ -550,7 +551,7 @@ func TestIndexedCorrespondence(t *testing.T) {
 	}
 
 	// An IN relation that is not total on the right must be rejected.
-	res2, err := bisim.IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 5}, {2, 5}}), bisim.Options{})
+	res2, err := bisim.IndexedCompute(context.Background(), m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 5}, {2, 5}}), bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.IndexedCompute: %v", err)
 	}
@@ -564,7 +565,7 @@ func TestIndexedCorrespondence(t *testing.T) {
 	// Pairing the roles the wrong way round must fail: the reduction of a
 	// withdrawing process satisfies AF !w, the reduction of a persisting one
 	// does not.
-	res3, err := bisim.IndexedCompute(m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 1}, {2, 5}}), bisim.Options{})
+	res3, err := bisim.IndexedCompute(context.Background(), m1, m2, toIndexPairs([]bisimIndexPairAlias{{1, 1}, {2, 5}}), bisim.Options{})
 	if err != nil {
 		t.Fatalf("bisim.IndexedCompute: %v", err)
 	}
@@ -575,11 +576,11 @@ func TestIndexedCorrespondence(t *testing.T) {
 		t.Error("FailingPairs should name the mismatched pairs")
 	}
 
-	if _, err := bisim.IndexedCompute(m1, m2, nil, bisim.Options{}); err == nil {
+	if _, err := bisim.IndexedCompute(context.Background(), m1, m2, nil, bisim.Options{}); err == nil {
 		t.Error("empty IN relation should be an error")
 	}
 
-	ok, err := bisim.IndexedCorrespond(m1, m2, toIndexPairs(in), bisim.Options{})
+	ok, err := bisim.IndexedCorrespond(context.Background(), m1, m2, toIndexPairs(in), bisim.Options{})
 	if err != nil || !ok {
 		t.Errorf("bisim.IndexedCorrespond = %v, %v", ok, err)
 	}
@@ -657,14 +658,14 @@ func TestOnePropsAffectLabelComparison(t *testing.T) {
 
 	redA := oneW.ReduceNormalized(1)
 	redB := twoW.ReduceNormalized(1)
-	plain, err := bisim.Correspond(redA, redB, bisim.Options{})
+	plain, err := bisim.Correspond(context.Background(), redA, redB, bisim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !plain {
 		t.Fatal("reductions should correspond when the O_i atom is ignored")
 	}
-	withOne, err := bisim.Correspond(redA, redB, bisim.Options{OneProps: []string{"w"}})
+	withOne, err := bisim.Correspond(context.Background(), redA, redB, bisim.Options{OneProps: []string{"w"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -676,7 +677,7 @@ func TestOnePropsAffectLabelComparison(t *testing.T) {
 func TestComputeErrors(t *testing.T) {
 	m := twoStateCycle(t)
 	empty := &kripke.Structure{}
-	if _, err := bisim.Compute(empty, m, bisim.Options{}); err == nil {
+	if _, err := bisim.Compute(context.Background(), empty, m, bisim.Options{}); err == nil {
 		t.Error("bisim.Compute with an empty structure should fail")
 	}
 }

@@ -1,10 +1,24 @@
 package bisim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kripke"
 )
+
+// cancelled polls ctx without blocking.  The engines call it at pass
+// boundaries — outer pruning rounds, degree rounds, splitter-queue batches —
+// so a cancelled or expired context stops a running computation promptly
+// while the innermost loops stay free of per-iteration overhead.
+func cancelled(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // This file computes the *maximal* correspondence between two structures and
 // the minimal degree of every related pair.  The paper defines the relation
@@ -55,6 +69,8 @@ func (r *Result) Corresponds() bool {
 }
 
 // Compute returns the maximal correspondence between m and m2 under opts.
+// The computation honours ctx: a cancelled or expired context makes Compute
+// return promptly with ctx's error.
 //
 // Two engines implement the decision procedure behind this API.  The
 // default is the partition-refinement engine of refine.go, which refines an
@@ -65,30 +81,30 @@ func (r *Result) Corresponds() bool {
 // (ComputeFixpoint), which is the only engine whose semantics depend on
 // that bound.  Both produce identical relations and minimal degrees; the
 // differential tests in refine_test.go assert it.
-func Compute(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+func Compute(ctx context.Context, m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 	if n == 0 || n2 == 0 {
 		return nil, fmt.Errorf("bisim: Compute: structures must be non-empty (got %d and %d states)", n, n2)
 	}
 	if opts.MaxDegreeRounds > 0 {
-		return computeFixpoint(m, m2, opts)
+		return computeFixpoint(ctx, m, m2, opts)
 	}
-	return computeRefined(m, m2, opts)
+	return computeRefined(ctx, m, m2, opts)
 }
 
 // ComputeFixpoint runs the original nested-fixpoint decision procedure on
 // the label-equal candidate pair set.  It is retained as the cross-check
 // oracle for the partition-refinement engine and as the engine honouring
 // Options.MaxDegreeRounds; new callers should use Compute.
-func ComputeFixpoint(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+func ComputeFixpoint(ctx context.Context, m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 	if n == 0 || n2 == 0 {
 		return nil, fmt.Errorf("bisim: Compute: structures must be non-empty (got %d and %d states)", n, n2)
 	}
-	return computeFixpoint(m, m2, opts)
+	return computeFixpoint(ctx, m, m2, opts)
 }
 
-func computeFixpoint(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+func computeFixpoint(ctx context.Context, m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 
 	// Candidate relation: label-equal pairs.
@@ -109,13 +125,14 @@ func computeFixpoint(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 			}
 		}
 	}
-	return pruneAndFinish(m, m2, inR, opts, &Result{}, computeDegrees)
+	return pruneAndFinish(ctx, m, m2, inR, opts, &Result{}, computeDegrees)
 }
 
 // degreesFunc assigns minimal degrees for the pairs of inR; computeDegrees
 // is the reference implementation, computeDegreesFast (refine.go) the
-// worklist-scheduled one the refinement engine uses.
-type degreesFunc func(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) int
+// worklist-scheduled one the refinement engine uses.  Both poll ctx once per
+// degree round and report its error when cancelled.
+type degreesFunc func(ctx context.Context, m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) (int, error)
 
 // pruneAndFinish is the tail shared by both engines: starting from the
 // candidate set inR it repeatedly assigns minimal degrees and removes pairs
@@ -124,7 +141,7 @@ type degreesFunc func(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds 
 // flags.  The nested-fixpoint engine seeds it with every label-equal pair;
 // the refinement engine seeds it with the (normally already stable) pairs
 // read off the refined partition, so the loop body runs exactly once there.
-func pruneAndFinish(m, m2 *kripke.Structure, inR []bool, opts Options, res *Result, degrees degreesFunc) (*Result, error) {
+func pruneAndFinish(ctx context.Context, m, m2 *kripke.Structure, inR []bool, opts Options, res *Result, degrees degreesFunc) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 	maxRounds := opts.MaxDegreeRounds
 	if maxRounds <= 0 {
@@ -136,9 +153,15 @@ func pruneAndFinish(m, m2 *kripke.Structure, inR []bool, opts Options, res *Resu
 
 	deg := make([]int, n*n2)
 	for {
+		if err := cancelled(ctx); err != nil {
+			return nil, err
+		}
 		res.OuterIterations++
-		rounds := degrees(m, m2, inR, deg, maxRounds)
+		rounds, err := degrees(ctx, m, m2, inR, deg, maxRounds)
 		res.DegreeRounds += rounds
+		if err != nil {
+			return nil, err
+		}
 		removed := false
 		for i, ok := range inR {
 			if ok && deg[i] == InfiniteDegree {
@@ -176,8 +199,8 @@ func finishResult(m, m2 *kripke.Structure, inR []bool, deg []int, opts Options, 
 
 // Correspond is a convenience wrapper: it computes the maximal
 // correspondence and reports whether the structures correspond.
-func Correspond(m, m2 *kripke.Structure, opts Options) (bool, error) {
-	res, err := Compute(m, m2, opts)
+func Correspond(ctx context.Context, m, m2 *kripke.Structure, opts Options) (bool, error) {
+	res, err := Compute(ctx, m, m2, opts)
 	if err != nil {
 		return false, err
 	}
@@ -210,7 +233,7 @@ func totality(m, m2 *kripke.Structure, rel *Relation, opts Options) (left, right
 // computeDegrees assigns to deg the minimal degree of every pair of the
 // candidate relation inR (InfiniteDegree if the pair has no finite degree),
 // and returns the number of rounds used.
-func computeDegrees(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) int {
+func computeDegrees(ctx context.Context, m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) (int, error) {
 	n2 := m2.NumStates()
 	for i := range deg {
 		deg[i] = InfiniteDegree
@@ -231,6 +254,9 @@ func computeDegrees(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds in
 	}
 	rounds := 1
 	for len(unresolved) > 0 && rounds <= maxRounds {
+		if err := cancelled(ctx); err != nil {
+			return rounds, err
+		}
 		var still []int
 		progressed := false
 		for _, i := range unresolved {
@@ -249,7 +275,7 @@ func computeDegrees(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds in
 		}
 		rounds++
 	}
-	return rounds
+	return rounds, nil
 }
 
 func exactMatch(m, m2 *kripke.Structure, inR []bool, n2 int, s, t kripke.State) bool {

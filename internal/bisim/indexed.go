@@ -1,6 +1,7 @@
 package bisim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -109,8 +110,11 @@ func DefaultIndexRelation(m, m2 *kripke.Structure) []IndexPair {
 // every pair of the IN relation, using Compute on the normalised reductions.
 // The pairs are independent of one another, so they are decided on a worker
 // pool sized to the machine; the result is deterministic regardless of
-// scheduling.
-func IndexedCompute(m, m2 *kripke.Structure, in []IndexPair, opts Options) (*IndexedResult, error) {
+// scheduling.  Cancelling ctx stops the pool promptly: each worker checks
+// the context before claiming the next pair and the per-pair Compute polls
+// it at its pass boundaries; every worker goroutine exits before
+// IndexedCompute returns the context's error.
+func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair, opts Options) (*IndexedResult, error) {
 	if len(in) == 0 {
 		return nil, fmt.Errorf("bisim: IndexedCompute: empty index relation")
 	}
@@ -152,12 +156,15 @@ func IndexedCompute(m, m2 *kripke.Structure, in []IndexPair, opts Options) (*Ind
 		go func() {
 			defer wg.Done()
 			for {
+				if err := cancelled(ctx); err != nil {
+					return
+				}
 				k := int(next.Add(1)) - 1
 				if k >= len(todo) {
 					return
 				}
 				p := todo[k]
-				r, err := Compute(leftRed[p.I], rightRed[p.I2], opts)
+				r, err := Compute(ctx, leftRed[p.I], rightRed[p.I2], opts)
 				if err != nil {
 					errs[k] = fmt.Errorf("bisim: IndexedCompute(%d,%d): %w", p.I, p.I2, err)
 					return
@@ -168,6 +175,9 @@ func IndexedCompute(m, m2 *kripke.Structure, in []IndexPair, opts Options) (*Ind
 	}
 	wg.Wait()
 
+	if err := cancelled(ctx); err != nil {
+		return nil, err
+	}
 	for k := range todo {
 		if errs[k] != nil {
 			return nil, errs[k]
@@ -183,8 +193,8 @@ func IndexedCompute(m, m2 *kripke.Structure, in []IndexPair, opts Options) (*Ind
 
 // IndexedCorrespond reports whether the two structures indexed-correspond
 // over the given IN relation.
-func IndexedCorrespond(m, m2 *kripke.Structure, in []IndexPair, opts Options) (bool, error) {
-	res, err := IndexedCompute(m, m2, in, opts)
+func IndexedCorrespond(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair, opts Options) (bool, error) {
+	res, err := IndexedCompute(ctx, m, m2, in, opts)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package bisim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -38,8 +39,8 @@ type MinimizeResult struct {
 // quotient; if they do not correspond — which cannot happen for structures
 // on which the maximal self-correspondence is transitive, but is checked
 // defensively — an error is returned.
-func Minimize(m *kripke.Structure, opts Options) (*MinimizeResult, error) {
-	res, err := Compute(m, m, opts)
+func Minimize(ctx context.Context, m *kripke.Structure, opts Options) (*MinimizeResult, error) {
+	res, err := Compute(ctx, m, m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +129,7 @@ func Minimize(m *kripke.Structure, opts Options) (*MinimizeResult, error) {
 	}
 	q = q.MakeTotal()
 
-	verify, err := Compute(m, q, opts)
+	verify, err := Compute(ctx, m, q, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package bisim
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/kripke"
 )
@@ -80,7 +82,7 @@ type rblock struct {
 
 // computeRefined computes the maximal correspondence between m and m2 by
 // partition refinement of their disjoint union.
-func computeRefined(m, m2 *kripke.Structure, opts Options) (*Result, error) {
+func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 	N := n + n2
 
@@ -96,7 +98,7 @@ func computeRefined(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	if len(oneProps) > 64 {
 		// The bit-packed key below would overflow; nothing realistic has
 		// this many indexed propositions, so just take the slow oracle.
-		return computeFixpoint(m, m2, opts)
+		return computeFixpoint(ctx, m, m2, opts)
 	}
 	onesBits := func(st *kripke.Structure, s kripke.State) uint64 {
 		var bits uint64
@@ -257,8 +259,13 @@ func computeRefined(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 		r.enqueue(int32(bid))
 	}
 	for {
+		if err := cancelled(ctx); err != nil {
+			return nil, err
+		}
 		res.OuterIterations++
-		r.drain()
+		if err := r.drain(ctx); err != nil {
+			return nil, err
+		}
 		if !r.divergencePass() {
 			break
 		}
@@ -278,7 +285,11 @@ func computeRefined(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	// over-approximated), fall back to the generic prune-and-assign loop,
 	// which handles any candidate set.
 	if len(r.blocks) <= maskDegreeBlockLimit {
-		if out, ok := maskedFinish(m, m2, stateBlock, len(r.blocks), opts, res); ok {
+		out, ok, err := maskedFinish(ctx, m, m2, stateBlock, len(r.blocks), opts, res)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return out, nil
 		}
 	}
@@ -291,7 +302,7 @@ func computeRefined(m, m2 *kripke.Structure, opts Options) (*Result, error) {
 			}
 		}
 	}
-	return pruneAndFinish(m, m2, inR, opts, res, computeDegreesFast)
+	return pruneAndFinish(ctx, m, m2, inR, opts, res, computeDegreesFast)
 }
 
 // maskDegreeBlockLimit is the block count up to which maskedFinish packs a
@@ -318,7 +329,7 @@ var maskDegreeBlockLimit = 64
 // It reports ok=false if some pair received no finite degree (meaning the
 // refinement over-approximated, which the theory rules out but the caller
 // still guards), in which case the generic pruning loop takes over.
-func maskedFinish(m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, opts Options, res *Result) (*Result, bool) {
+func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, opts Options, res *Result) (*Result, bool, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 
 	// Left states of every block, and each left state's rank in its block.
@@ -495,6 +506,9 @@ func maskedFinish(m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, op
 	var cands []int32
 	rounds := int32(1)
 	for len(resolved) > 0 {
+		if err := cancelled(ctx); err != nil {
+			return nil, false, err
+		}
 		cands = cands[:0]
 		schedule := func(j int32) {
 			if deg[j] < 0 && scheduledAt[j] != rounds {
@@ -523,7 +537,7 @@ func maskedFinish(m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, op
 		rounds++
 	}
 	if assigned != total {
-		return nil, false
+		return nil, false, nil
 	}
 
 	rel := NewRelation(n, n2)
@@ -560,7 +574,7 @@ func maskedFinish(m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, op
 			break
 		}
 	}
-	return res, true
+	return res, true, nil
 }
 
 // computeDegreesFast assigns exactly the same minimal degrees as
@@ -573,7 +587,7 @@ func maskedFinish(m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, op
 // already below the round counter), so the schedule loses nothing; it is
 // what turns the degree pass from O(maxDegree · |R|) into roughly one check
 // per relation edge.
-func computeDegreesFast(m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) int {
+func computeDegreesFast(ctx context.Context, m, m2 *kripke.Structure, inR []bool, deg []int, maxRounds int) (int, error) {
 	n2 := m2.NumStates()
 	for i := range deg {
 		deg[i] = InfiniteDegree
@@ -598,6 +612,9 @@ func computeDegreesFast(m, m2 *kripke.Structure, inR []bool, deg []int, maxRound
 	var cands []int
 	rounds := 1
 	for len(resolved) > 0 && rounds <= maxRounds {
+		if err := cancelled(ctx); err != nil {
+			return rounds, err
+		}
 		cands = cands[:0]
 		schedule := func(j int) {
 			if inR[j] && deg[j] == InfiniteDegree && scheduledAt[j] != int32(rounds) {
@@ -625,7 +642,7 @@ func computeDegreesFast(m, m2 *kripke.Structure, inR []bool, deg []int, maxRound
 		}
 		rounds++
 	}
-	return rounds
+	return rounds, nil
 }
 
 func (r *refiner) enqueue(bid int32) {
@@ -636,14 +653,23 @@ func (r *refiner) enqueue(bid int32) {
 }
 
 // drain processes splitters until the partition is stable with respect to
-// every block in the queue (and every block their splits re-enqueue).
-func (r *refiner) drain() {
-	for len(r.queue) > 0 {
+// every block in the queue (and every block their splits re-enqueue).  It
+// polls ctx once per batch of splitter pops, which keeps the cancellation
+// latency a small multiple of a single split's cost without measurably
+// slowing the refinement loop.
+func (r *refiner) drain(ctx context.Context) error {
+	for pops := 0; len(r.queue) > 0; pops++ {
+		if pops&255 == 0 {
+			if err := cancelled(ctx); err != nil {
+				return err
+			}
+		}
 		bid := r.queue[0]
 		r.queue = r.queue[1:]
 		r.inQueue[bid] = false
 		r.refineAgainst(bid)
 	}
+	return nil
 }
 
 // refineAgainst splits every other block against the splitter sp: a block is

@@ -1,6 +1,7 @@
 package bisim_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -46,11 +47,11 @@ func assertSameResult(t *testing.T, label string, got, want *bisim.Result) {
 
 func assertEnginesAgree(t *testing.T, label string, m, m2 *kripke.Structure, opts bisim.Options) {
 	t.Helper()
-	refined, err := bisim.Compute(m, m2, opts)
+	refined, err := bisim.Compute(context.Background(), m, m2, opts)
 	if err != nil {
 		t.Fatalf("%s: bisim.Compute: %v", label, err)
 	}
-	oracle, err := bisim.ComputeFixpoint(m, m2, opts)
+	oracle, err := bisim.ComputeFixpoint(context.Background(), m, m2, opts)
 	if err != nil {
 		t.Fatalf("%s: bisim.ComputeFixpoint: %v", label, err)
 	}
@@ -193,11 +194,11 @@ func TestMaxDegreeRoundsRoutesToFixpoint(t *testing.T) {
 	// engine has; bisim.Compute must keep honouring it exactly as before.
 	left := twoStateCycle(t)
 	right := stutteredCycle(t, 3)
-	capped, err := bisim.Compute(left, right, bisim.Options{MaxDegreeRounds: 1})
+	capped, err := bisim.Compute(context.Background(), left, right, bisim.Options{MaxDegreeRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := bisim.ComputeFixpoint(left, right, bisim.Options{MaxDegreeRounds: 1})
+	oracle, err := bisim.ComputeFixpoint(context.Background(), left, right, bisim.Options{MaxDegreeRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -176,8 +177,9 @@ func NewVerifier(family Family, opts Options) (*Verifier, error) {
 	return &Verifier{family: family, opts: opts}, nil
 }
 
-// Run executes the three steps for the given specifications.
-func (v *Verifier) Run(specs []Spec) (*Report, error) {
+// Run executes the three steps for the given specifications.  Cancelling
+// ctx aborts the run at the next model-checking or correspondence boundary.
+func (v *Verifier) Run(ctx context.Context, specs []Spec) (*Report, error) {
 	start := time.Now()
 	small, err := v.family.Instance(v.opts.SmallSize)
 	if err != nil {
@@ -205,7 +207,7 @@ func (v *Verifier) Run(specs []Spec) (*Report, error) {
 		} else {
 			res.Transferable = true
 		}
-		holds, err := checker.Holds(spec.Formula)
+		holds, err := checker.Holds(ctx, spec.Formula)
 		if err != nil {
 			return nil, fmt.Errorf("core: checking %q on %s (n=%d): %w", spec.Name, v.family.Name(), v.opts.SmallSize, err)
 		}
@@ -221,7 +223,7 @@ func (v *Verifier) Run(specs []Spec) (*Report, error) {
 			return nil, fmt.Errorf("core: building instance %d of %s: %w", size, v.family.Name(), err)
 		}
 		in := v.family.IndexRelation(v.opts.SmallSize, size)
-		idxRes, err := bisim.IndexedCompute(small, large, in, bisimOpts)
+		idxRes, err := bisim.IndexedCompute(ctx, small, large, in, bisimOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: correspondence %d vs %d of %s: %w", v.opts.SmallSize, size, v.family.Name(), err)
 		}
@@ -292,7 +294,7 @@ type CertifiedIndexPair struct {
 
 // BuildCertificate runs the correspondence computation between the two
 // instances and packages the resulting relations as a certificate.
-func BuildCertificate(family Family, smallSize, largeSize int) (*TransferCertificate, error) {
+func BuildCertificate(ctx context.Context, family Family, smallSize, largeSize int) (*TransferCertificate, error) {
 	small, err := family.Instance(smallSize)
 	if err != nil {
 		return nil, err
@@ -303,7 +305,7 @@ func BuildCertificate(family Family, smallSize, largeSize int) (*TransferCertifi
 	}
 	in := family.IndexRelation(smallSize, largeSize)
 	opts := bisim.Options{OneProps: family.OneProps(), ReachableOnly: true}
-	res, err := bisim.IndexedCompute(small, large, in, opts)
+	res, err := bisim.IndexedCompute(ctx, small, large, in, opts)
 	if err != nil {
 		return nil, err
 	}

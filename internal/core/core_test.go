@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func TestVerifierRunsThePaperWorkflowFromTheCutoff(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewVerifier: %v", err)
 	}
-	report, err := v.Run(ringSpecs())
+	report, err := v.Run(context.Background(), ringSpecs())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -81,7 +82,7 @@ func TestVerifierDetectsTheTwoProcessCutoffFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	specs := append(ringSpecs(), Spec{Name: "distinguishing", Formula: ring.DistinguishingFormula()})
-	report, err := v.Run(specs)
+	report, err := v.Run(context.Background(), specs)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestVerifierRejectsUnrestrictedSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := v.Run([]Spec{{Name: "nexttime", Formula: logic.MustParse("forall i . AG (AX t[i])")}})
+	report, err := v.Run(context.Background(), []Spec{{Name: "nexttime", Formula: logic.MustParse("forall i . AG (AX t[i])")}})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -139,7 +140,7 @@ func TestVerifierRejectsUnrestrictedSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report2, err := v2.Run([]Spec{{Name: "nexttime", Formula: logic.MustParse("forall i . AG (AX t[i])")}})
+	report2, err := v2.Run(context.Background(), []Spec{{Name: "nexttime", Formula: logic.MustParse("forall i . AG (AX t[i])")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,10 +157,10 @@ func TestVerifierErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Run([]Spec{{Name: "empty"}}); err == nil {
+	if _, err := v.Run(context.Background(), []Spec{{Name: "empty"}}); err == nil {
 		t.Error("spec without formula should be rejected")
 	}
-	if _, err := v.Run([]Spec{{Name: "free-var", Formula: logic.MustParse("d[i]")}}); err == nil {
+	if _, err := v.Run(context.Background(), []Spec{{Name: "free-var", Formula: logic.MustParse("d[i]")}}); err == nil {
 		t.Error("formula with a free index variable should be rejected by the checker")
 	}
 	// A family whose builder fails propagates the error.
@@ -168,7 +169,7 @@ func TestVerifierErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := vb.Run(ringSpecs()); err == nil {
+	if _, err := vb.Run(context.Background(), ringSpecs()); err == nil {
 		t.Error("family without a builder should fail")
 	}
 	// Oversized correspondence instance propagates the builder's refusal.
@@ -176,7 +177,7 @@ func TestVerifierErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := vc.Run(ringSpecs()); err == nil {
+	if _, err := vc.Run(context.Background(), ringSpecs()); err == nil {
 		t.Error("an instance beyond the explicit limit should fail loudly")
 	}
 }
@@ -200,7 +201,7 @@ func TestFamilyFuncDefaults(t *testing.T) {
 
 func TestTransferCertificateRoundTrip(t *testing.T) {
 	family := ringFamily()
-	cert, err := BuildCertificate(family, ring.CutoffSize, 4)
+	cert, err := BuildCertificate(context.Background(), family, ring.CutoffSize, 4)
 	if err != nil {
 		t.Fatalf("BuildCertificate: %v", err)
 	}
@@ -230,7 +231,7 @@ func TestTransferCertificateRoundTrip(t *testing.T) {
 		t.Error("corrupted certificate should fail validation")
 	}
 	// No certificate exists between M_2 and larger rings.
-	if _, err := BuildCertificate(family, 2, 4); err == nil {
+	if _, err := BuildCertificate(context.Background(), family, 2, 4); err == nil {
 		t.Error("BuildCertificate must refuse the non-corresponding pair (2,4)")
 	}
 }

@@ -25,6 +25,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -130,12 +131,12 @@ func (t *Table) Text() string {
 
 // Fig31 reconstructs Fig. 3.1 and reports the minimal correspondence degrees
 // of its distinguished state pairs.
-func Fig31() (*Table, error) {
+func Fig31(ctx context.Context) (*Table, error) {
 	left, right, err := paperfig.Fig31()
 	if err != nil {
 		return nil, err
 	}
-	res, err := bisim.Compute(left, right, bisim.Options{})
+	res, err := bisim.Compute(ctx, left, right, bisim.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -164,11 +165,11 @@ func Fig31() (*Table, error) {
 	cl, cr := mc.New(left), mc.New(right)
 	for _, text := range formulas {
 		f := logic.MustParse(text)
-		hl, err := cl.Holds(f)
+		hl, err := cl.Holds(ctx, f)
 		if err != nil {
 			return nil, err
 		}
-		hr, err := cr.Holds(f)
+		hr, err := cr.Holds(ctx, f)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +189,7 @@ func Fig31() (*Table, error) {
 // of 1..maxN processes, demonstrating that unrestricted ICTL* counts
 // processes while restricted formulas do not (beyond the 1-process
 // degeneracy).
-func Fig41(maxN int) (*Table, error) {
+func Fig41(ctx context.Context, maxN int) (*Table, error) {
 	if maxN < 2 {
 		maxN = 4
 	}
@@ -214,7 +215,7 @@ func Fig41(maxN int) (*Table, error) {
 	evaluate := func(f logic.Formula) ([]string, error) {
 		cells := make([]string, 0, maxN)
 		for n := 1; n <= maxN; n++ {
-			holds, err := mc.New(structures[n]).Holds(f)
+			holds, err := mc.New(structures[n]).Holds(ctx, f)
 			if err != nil {
 				return nil, err
 			}
@@ -258,7 +259,7 @@ func toAny(cells []string) []any {
 
 // Fig51 rebuilds the two-process mutual exclusion graph and reports its
 // shape.
-func Fig51() (*Table, error) {
+func Fig51(ctx context.Context) (*Table, error) {
 	inst, err := paperfig.Fig51()
 	if err != nil {
 		return nil, err
@@ -281,7 +282,7 @@ func Fig51() (*Table, error) {
 
 // RingChecks verifies the Section 5 invariants and properties on every ring
 // size from 2 to maxR.
-func RingChecks(maxR int) (*Table, error) {
+func RingChecks(ctx context.Context, maxR int) (*Table, error) {
 	if maxR < 2 {
 		maxR = 5
 	}
@@ -305,7 +306,7 @@ func RingChecks(maxR int) (*Table, error) {
 	for _, nf := range all {
 		cells := []any{nf.Name, nf.Source}
 		for r := 2; r <= maxR; r++ {
-			holds, err := checkers[r].Holds(nf.Formula)
+			holds, err := checkers[r].Holds(ctx, nf.Formula)
 			if err != nil {
 				return nil, err
 			}
@@ -324,7 +325,7 @@ func RingChecks(maxR int) (*Table, error) {
 // CorrespondenceCutoff reports, for each small size, whether the indexed
 // correspondence with larger rings exists (decided by the bisim engine) and
 // how the distinguishing formula behaves.
-func CorrespondenceCutoff(maxR int) (*Table, error) {
+func CorrespondenceCutoff(ctx context.Context, maxR int) (*Table, error) {
 	if maxR < 4 {
 		maxR = 5
 	}
@@ -340,7 +341,7 @@ func CorrespondenceCutoff(maxR int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		chiSmall, err := mc.New(smallInst.M).Holds(chi)
+		chiSmall, err := mc.New(smallInst.M).Holds(ctx, chi)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +350,7 @@ func CorrespondenceCutoff(maxR int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := ring.DecideCorrespondence(smallInst, largeInst)
+			res, err := ring.DecideCorrespondence(ctx, smallInst, largeInst)
 			if err != nil {
 				return nil, err
 			}
@@ -359,7 +360,7 @@ func CorrespondenceCutoff(maxR int) (*Table, error) {
 					maxDeg = d
 				}
 			}
-			chiLarge, err := mc.New(largeInst.M).Holds(chi)
+			chiLarge, err := mc.New(largeInst.M).Holds(ctx, chi)
 			if err != nil {
 				return nil, err
 			}
@@ -374,7 +375,7 @@ func CorrespondenceCutoff(maxR int) (*Table, error) {
 
 // LocalRefutation runs the Appendix relation (both variants) through the
 // local clause checker at rings far beyond explicit construction.
-func LocalRefutation(sizes []int, samplesPerSize int, seed int64) (*Table, error) {
+func LocalRefutation(ctx context.Context, sizes []int, samplesPerSize int, seed int64) (*Table, error) {
 	if len(sizes) == 0 {
 		sizes = []int{100, 1000}
 	}
@@ -408,6 +409,11 @@ func LocalRefutation(sizes []int, samplesPerSize int, seed int64) (*Table, error
 				states = append(states, ring.RandomReachableState(r, func(n int) int { return int(rng.next() % uint64(n)) }))
 			}
 			for _, g := range states {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				default:
+				}
 				for _, pair := range []bisim.IndexPair{{I: 1, I2: 1}, {I: 2, I2: 2}, {I: 2, I2: r}} {
 					pairs++
 					violations += len(lc.CheckState(g, pair.I, pair.I2))
@@ -457,7 +463,7 @@ func (s *splitMix) next() uint64 {
 // establish the correspondence).  The direct route's cost grows as r·2^r;
 // the parameterized route's cost is independent of r once the correspondence
 // is established.
-func StateExplosion(maxR int) (*Table, error) {
+func StateExplosion(ctx context.Context, maxR int) (*Table, error) {
 	if maxR < 4 {
 		maxR = 8
 	}
@@ -481,7 +487,7 @@ func StateExplosion(maxR int) (*Table, error) {
 		checker := mc.New(inst.M)
 		allHold := true
 		for _, p := range props {
-			holds, err := checker.Holds(p.Formula)
+			holds, err := checker.Holds(ctx, p.Formula)
 			if err != nil {
 				return nil, err
 			}
@@ -492,7 +498,7 @@ func StateExplosion(maxR int) (*Table, error) {
 		corrCell := "n/a (cutoff not reached)"
 		if r >= ring.CutoffSize {
 			corrStart := time.Now()
-			res, err := ring.DecideCorrespondence(cutoff, inst)
+			res, err := ring.DecideCorrespondence(ctx, cutoff, inst)
 			if err != nil {
 				return nil, err
 			}
@@ -524,7 +530,7 @@ func StateExplosion(maxR int) (*Table, error) {
 // exits), and Minimize verifies its output and refuses in that case.  The
 // table reports both the class count (always meaningful) and the verified
 // quotient when one exists.
-func Minimization(maxR int) (*Table, error) {
+func Minimization(ctx context.Context, maxR int) (*Table, error) {
 	if maxR < 3 {
 		maxR = 6
 	}
@@ -544,11 +550,11 @@ func Minimization(maxR int) (*Table, error) {
 				continue
 			}
 			red := inst.M.ReduceNormalized(i)
-			classes, err := equivalenceClassCount(red, opts)
+			classes, err := equivalenceClassCount(ctx, red, opts)
 			if err != nil {
 				return nil, err
 			}
-			res, err := bisim.Minimize(red, opts)
+			res, err := bisim.Minimize(ctx, red, opts)
 			if err != nil {
 				t.AddRow(r, i, red.NumStates(), classes, "-", "quotient refused: the degree-bounded relation is not closed under state fusion here")
 				continue
@@ -564,8 +570,8 @@ func Minimization(maxR int) (*Table, error) {
 
 // equivalenceClassCount returns the number of classes of the maximal
 // self-correspondence of m (connected components of the relation).
-func equivalenceClassCount(m *kripke.Structure, opts bisim.Options) (int, error) {
-	res, err := bisim.Compute(m, m, opts)
+func equivalenceClassCount(ctx context.Context, m *kripke.Structure, opts bisim.Options) (int, error) {
+	res, err := bisim.Compute(ctx, m, m, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -604,7 +610,7 @@ func equivalenceClassCount(m *kripke.Structure, opts bisim.Options) (int, error)
 // with more than k identical processes.  For the Fig. 4.1 template the
 // depth-k counting formula changes truth value exactly at n = k, in line
 // with the conjecture's bound.
-func NestingConjecture(maxK int) (*Table, error) {
+func NestingConjecture(ctx context.Context, maxK int) (*Table, error) {
 	if maxK < 2 {
 		maxK = 4
 	}
@@ -627,7 +633,7 @@ func NestingConjecture(maxK int) (*Table, error) {
 		first := -1
 		allLarger := true
 		for n := 1; n <= maxN; n++ {
-			holds, err := mc.New(structures[n]).Holds(f)
+			holds, err := mc.New(structures[n]).Holds(ctx, f)
 			if err != nil {
 				return nil, err
 			}

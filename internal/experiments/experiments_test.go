@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestFig31Table(t *testing.T) {
-	tbl, err := Fig31()
+	tbl, err := Fig31(context.Background())
 	if err != nil {
 		t.Fatalf("Fig31: %v", err)
 	}
@@ -31,7 +32,7 @@ func TestFig31Table(t *testing.T) {
 }
 
 func TestFig41Table(t *testing.T) {
-	tbl, err := Fig41(4)
+	tbl, err := Fig41(context.Background(), 4)
 	if err != nil {
 		t.Fatalf("Fig41: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestFig41Table(t *testing.T) {
 }
 
 func TestFig51Table(t *testing.T) {
-	tbl, err := Fig51()
+	tbl, err := Fig51(context.Background())
 	if err != nil {
 		t.Fatalf("Fig51: %v", err)
 	}
@@ -76,7 +77,7 @@ func TestFig51Table(t *testing.T) {
 }
 
 func TestRingChecksTable(t *testing.T) {
-	tbl, err := RingChecks(4)
+	tbl, err := RingChecks(context.Background(), 4)
 	if err != nil {
 		t.Fatalf("RingChecks: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestRingChecksTable(t *testing.T) {
 }
 
 func TestCorrespondenceCutoffTable(t *testing.T) {
-	tbl, err := CorrespondenceCutoff(5)
+	tbl, err := CorrespondenceCutoff(context.Background(), 5)
 	if err != nil {
 		t.Fatalf("CorrespondenceCutoff: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestCorrespondenceCutoffTable(t *testing.T) {
 }
 
 func TestLocalRefutationTable(t *testing.T) {
-	tbl, err := LocalRefutation([]int{50}, 6, 7)
+	tbl, err := LocalRefutation(context.Background(), []int{50}, 6, 7)
 	if err != nil {
 		t.Fatalf("LocalRefutation: %v", err)
 	}
@@ -130,7 +131,7 @@ func TestLocalRefutationTable(t *testing.T) {
 }
 
 func TestStateExplosionTable(t *testing.T) {
-	tbl, err := StateExplosion(5)
+	tbl, err := StateExplosion(context.Background(), 5)
 	if err != nil {
 		t.Fatalf("StateExplosion: %v", err)
 	}
@@ -154,7 +155,7 @@ func TestStateExplosionTable(t *testing.T) {
 }
 
 func TestMinimizationTable(t *testing.T) {
-	tbl, err := Minimization(4)
+	tbl, err := Minimization(context.Background(), 4)
 	if err != nil {
 		t.Fatalf("Minimization: %v", err)
 	}
@@ -179,7 +180,7 @@ func TestMinimizationTable(t *testing.T) {
 }
 
 func TestNestingConjectureTable(t *testing.T) {
-	tbl, err := NestingConjecture(3)
+	tbl, err := NestingConjecture(context.Background(), 3)
 	if err != nil {
 		t.Fatalf("NestingConjecture: %v", err)
 	}
@@ -192,10 +193,10 @@ func TestNestingConjectureTable(t *testing.T) {
 
 func TestAllRunsEveryExperiment(t *testing.T) {
 	if testing.Short() {
-		t.Skip("All() builds several mid-sized rings; skipped in -short mode")
+		t.Skip("All(context.Background()) builds several mid-sized rings; skipped in -short mode")
 	}
 	start := time.Now()
-	tables, err := All()
+	tables, err := All(context.Background())
 	if err != nil {
 		t.Fatalf("All: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -27,10 +28,11 @@ import (
 // what a terminal user watching a sweep wants to see.
 
 // Job is one experiment to run: an identifier and a function producing its
-// table.
+// table.  Run receives the context of the Stream/Collect call that executes
+// it; well-behaved jobs return promptly with ctx.Err() once it is cancelled.
 type Job struct {
 	ID  string
-	Run func() (*Table, error)
+	Run func(ctx context.Context) (*Table, error)
 }
 
 // Outcome is the result of one Job, delivered by Runner.Stream as soon as
@@ -71,8 +73,12 @@ func (r Runner) poolSize(jobs int) int {
 
 // Stream runs the jobs on the pool and delivers every outcome as soon as
 // its job completes, in completion order.  The channel is closed after the
-// last outcome.
-func (r Runner) Stream(jobs []Job) <-chan Outcome {
+// last outcome.  When ctx is cancelled the workers stop claiming jobs,
+// in-flight jobs are interrupted through their own ctx checkpoints, and the
+// channel is closed once every worker has exited — so a consumer that simply
+// ranges over the channel never blocks forever, and no worker goroutine
+// outlives the stream.
+func (r Runner) Stream(ctx context.Context, jobs []Job) <-chan Outcome {
 	out := make(chan Outcome)
 	var next atomic.Int64
 	go func() {
@@ -83,13 +89,20 @@ func (r Runner) Stream(jobs []Job) <-chan Outcome {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					k := int(next.Add(1)) - 1
 					if k >= len(jobs) {
 						return
 					}
 					start := time.Now()
-					tbl, err := jobs[k].Run()
-					out <- Outcome{Index: k, ID: jobs[k].ID, Table: tbl, Err: err, Elapsed: time.Since(start)}
+					tbl, err := jobs[k].Run(ctx)
+					select {
+					case out <- Outcome{Index: k, ID: jobs[k].ID, Table: tbl, Err: err, Elapsed: time.Since(start)}:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}()
 		}
@@ -99,13 +112,17 @@ func (r Runner) Stream(jobs []Job) <-chan Outcome {
 }
 
 // Collect runs the jobs and returns their tables in job order.  If any job
-// failed, the error of the earliest failing job is returned.
-func (r Runner) Collect(jobs []Job) ([]*Table, error) {
+// failed, the error of the earliest failing job is returned; a cancelled
+// context surfaces as ctx's error.
+func (r Runner) Collect(ctx context.Context, jobs []Job) ([]*Table, error) {
 	tables := make([]*Table, len(jobs))
 	errs := make([]error, len(jobs))
-	for o := range r.Stream(jobs) {
+	for o := range r.Stream(ctx, jobs) {
 		tables[o.Index] = o.Table
 		errs[o.Index] = o.Err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -120,21 +137,21 @@ func (r Runner) Collect(jobs []Job) ([]*Table, error) {
 func StandardJobs() []Job {
 	return []Job{
 		{ID: "E1", Run: Fig31},
-		{ID: "E2", Run: func() (*Table, error) { return Fig41(4) }},
+		{ID: "E2", Run: func(ctx context.Context) (*Table, error) { return Fig41(ctx, 4) }},
 		{ID: "E3", Run: Fig51},
-		{ID: "E4/E5", Run: func() (*Table, error) { return RingChecks(6) }},
-		{ID: "E6", Run: func() (*Table, error) { return CorrespondenceCutoff(6) }},
-		{ID: "E6b", Run: func() (*Table, error) { return LocalRefutation([]int{100, 1000}, 25, 1) }},
-		{ID: "E7", Run: func() (*Table, error) { return StateExplosion(9) }},
-		{ID: "E8", Run: func() (*Table, error) { return Minimization(6) }},
-		{ID: "E9", Run: func() (*Table, error) { return NestingConjecture(4) }},
+		{ID: "E4/E5", Run: func(ctx context.Context) (*Table, error) { return RingChecks(ctx, 6) }},
+		{ID: "E6", Run: func(ctx context.Context) (*Table, error) { return CorrespondenceCutoff(ctx, 6) }},
+		{ID: "E6b", Run: func(ctx context.Context) (*Table, error) { return LocalRefutation(ctx, []int{100, 1000}, 25, 1) }},
+		{ID: "E7", Run: func(ctx context.Context) (*Table, error) { return StateExplosion(ctx, 9) }},
+		{ID: "E8", Run: func(ctx context.Context) (*Table, error) { return Minimization(ctx, 6) }},
+		{ID: "E9", Run: func(ctx context.Context) (*Table, error) { return NestingConjecture(ctx, 4) }},
 	}
 }
 
 // All runs every experiment with its default parameters on the worker pool
 // and returns the tables in DESIGN.md order.
-func All() ([]*Table, error) {
-	return Runner{}.Collect(StandardJobs())
+func All(ctx context.Context) ([]*Table, error) {
+	return Runner{}.Collect(ctx, StandardJobs())
 }
 
 // SweepRow is one ring size's measurement from CorrespondenceSweep.
@@ -157,14 +174,18 @@ type SweepRow struct {
 // method makes cheap to extend: every verdict that comes back true extends
 // the range of ring sizes over which Theorem 5 transfers the Section 5
 // properties.
-func (r Runner) CorrespondenceSweep(sizes []int) <-chan SweepRow {
+func (r Runner) CorrespondenceSweep(ctx context.Context, sizes []int) <-chan SweepRow {
 	out := make(chan SweepRow)
 	go func() {
 		defer close(out)
 		small, err := ring.Build(ring.CutoffSize)
 		if err != nil {
 			for _, size := range sizes {
-				out <- SweepRow{R: size, Err: err}
+				select {
+				case out <- SweepRow{R: size, Err: err}:
+				case <-ctx.Done():
+					return
+				}
 			}
 			return
 		}
@@ -172,7 +193,7 @@ func (r Runner) CorrespondenceSweep(sizes []int) <-chan SweepRow {
 		rows := make([]SweepRow, len(sizes))
 		for k, size := range sizes {
 			k, size := k, size
-			jobs[k] = Job{ID: fmt.Sprintf("r=%d", size), Run: func() (*Table, error) {
+			jobs[k] = Job{ID: fmt.Sprintf("r=%d", size), Run: func(ctx context.Context) (*Table, error) {
 				row := SweepRow{R: size}
 				buildStart := time.Now()
 				inst, err := ring.Build(size)
@@ -189,7 +210,7 @@ func (r Runner) CorrespondenceSweep(sizes []int) <-chan SweepRow {
 				opts := ring.CorrespondOptions()
 				opts.Workers = r.Workers
 				decideStart := time.Now()
-				res, err := bisim.IndexedCompute(small.M, inst.M, ring.IndexRelationFor(small.R, size), opts)
+				res, err := bisim.IndexedCompute(ctx, small.M, inst.M, ring.IndexRelationFor(small.R, size), opts)
 				row.DecideElapsed = time.Since(decideStart)
 				if err != nil {
 					row.Err = err
@@ -206,8 +227,12 @@ func (r Runner) CorrespondenceSweep(sizes []int) <-chan SweepRow {
 				return nil, nil
 			}}
 		}
-		for o := range r.Stream(jobs) {
-			out <- rows[o.Index]
+		for o := range r.Stream(ctx, jobs) {
+			select {
+			case out <- rows[o.Index]:
+			case <-ctx.Done():
+				return
+			}
 		}
 	}()
 	return out
@@ -215,13 +240,16 @@ func (r Runner) CorrespondenceSweep(sizes []int) <-chan SweepRow {
 
 // SweepTable collects a CorrespondenceSweep into one table, sorted by ring
 // size.
-func (r Runner) SweepTable(sizes []int) (*Table, error) {
+func (r Runner) SweepTable(ctx context.Context, sizes []int) (*Table, error) {
 	var rows []SweepRow
-	for row := range r.CorrespondenceSweep(sizes) {
+	for row := range r.CorrespondenceSweep(ctx, sizes) {
 		if row.Err != nil {
 			return nil, fmt.Errorf("experiments: sweep r=%d: %w", row.R, row.Err)
 		}
 		rows = append(rows, row)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return SweepRowsTable(rows), nil
 }

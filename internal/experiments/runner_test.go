@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,12 +17,12 @@ func TestRunnerCollectPreservesOrderAndRunsEverything(t *testing.T) {
 	var jobs []Job
 	for i := 0; i < 9; i++ {
 		i := i
-		jobs = append(jobs, Job{ID: fmt.Sprintf("J%d", i), Run: func() (*Table, error) {
+		jobs = append(jobs, Job{ID: fmt.Sprintf("J%d", i), Run: func(context.Context) (*Table, error) {
 			ran.Add(1)
 			return &Table{ID: fmt.Sprintf("J%d", i)}, nil
 		}})
 	}
-	tables, err := Runner{Workers: 4}.Collect(jobs)
+	tables, err := Runner{Workers: 4}.Collect(context.Background(), jobs)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -38,11 +39,11 @@ func TestRunnerCollectPreservesOrderAndRunsEverything(t *testing.T) {
 func TestRunnerCollectReportsEarliestError(t *testing.T) {
 	boom := errors.New("boom")
 	jobs := []Job{
-		{ID: "ok", Run: func() (*Table, error) { return &Table{}, nil }},
-		{ID: "bad", Run: func() (*Table, error) { return nil, boom }},
-		{ID: "worse", Run: func() (*Table, error) { return nil, errors.New("later") }},
+		{ID: "ok", Run: func(context.Context) (*Table, error) { return &Table{}, nil }},
+		{ID: "bad", Run: func(context.Context) (*Table, error) { return nil, boom }},
+		{ID: "worse", Run: func(context.Context) (*Table, error) { return nil, errors.New("later") }},
 	}
-	_, err := Runner{Workers: 2}.Collect(jobs)
+	_, err := Runner{Workers: 2}.Collect(context.Background(), jobs)
 	if err == nil || !errors.Is(err, boom) {
 		t.Fatalf("Collect error = %v, want the earliest job's error", err)
 	}
@@ -53,12 +54,12 @@ func TestRunnerCollectReportsEarliestError(t *testing.T) {
 
 func TestRunnerStreamDeliversEveryOutcome(t *testing.T) {
 	jobs := []Job{
-		{ID: "a", Run: func() (*Table, error) { return &Table{ID: "a"}, nil }},
-		{ID: "b", Run: func() (*Table, error) { return nil, errors.New("b failed") }},
-		{ID: "c", Run: func() (*Table, error) { return &Table{ID: "c"}, nil }},
+		{ID: "a", Run: func(context.Context) (*Table, error) { return &Table{ID: "a"}, nil }},
+		{ID: "b", Run: func(context.Context) (*Table, error) { return nil, errors.New("b failed") }},
+		{ID: "c", Run: func(context.Context) (*Table, error) { return &Table{ID: "c"}, nil }},
 	}
 	got := map[string]bool{}
-	for o := range (Runner{Workers: 3}).Stream(jobs) {
+	for o := range (Runner{Workers: 3}).Stream(context.Background(), jobs) {
 		got[o.ID] = true
 		if o.ID == "b" && o.Err == nil {
 			t.Error("job b should report its error")
@@ -88,7 +89,7 @@ func TestStandardJobsMatchAll(t *testing.T) {
 func TestCorrespondenceSweep(t *testing.T) {
 	sizes := []int{4, 5, 6}
 	var rows []SweepRow
-	for row := range (Runner{Workers: 2}).CorrespondenceSweep(sizes) {
+	for row := range (Runner{Workers: 2}).CorrespondenceSweep(context.Background(), sizes) {
 		if row.Err != nil {
 			t.Fatalf("sweep r=%d: %v", row.R, row.Err)
 		}

@@ -26,6 +26,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kripke"
@@ -39,6 +40,33 @@ type Checker struct {
 	m     *kripke.Structure
 	cache map[string][]bool
 	stats Stats
+
+	// ctx is the context of the public query currently being evaluated; the
+	// engines poll it at subformula boundaries and inside the tableau
+	// product so long-running checks are cancellable.
+	ctx context.Context
+}
+
+// bind installs ctx for the duration of one public query.  A nil context is
+// treated as context.Background so zero-value-style callers keep working.
+func (c *Checker) bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+}
+
+// cancelled polls the query context without blocking.
+func (c *Checker) cancelled() error {
+	if c.ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Stats reports work counters accumulated by a Checker.  They are used by
@@ -71,14 +99,15 @@ func (c *Checker) Structure() *kripke.Structure { return c.m }
 func (c *Checker) Stats() Stats { return c.stats }
 
 // Holds reports whether the closed formula f holds in the initial state of
-// the structure, i.e. whether M, s0 ⊨ f.
-func (c *Checker) Holds(f logic.Formula) (bool, error) {
-	return c.HoldsAt(f, c.m.Initial())
+// the structure, i.e. whether M, s0 ⊨ f.  Cancelling ctx aborts the
+// evaluation at the next subformula or tableau boundary.
+func (c *Checker) Holds(ctx context.Context, f logic.Formula) (bool, error) {
+	return c.HoldsAt(ctx, f, c.m.Initial())
 }
 
 // HoldsAt reports whether f holds at state s.
-func (c *Checker) HoldsAt(f logic.Formula, s kripke.State) (bool, error) {
-	sat, err := c.Sat(f)
+func (c *Checker) HoldsAt(ctx context.Context, f logic.Formula, s kripke.State) (bool, error) {
+	sat, err := c.Sat(ctx, f)
 	if err != nil {
 		return false, err
 	}
@@ -93,10 +122,11 @@ func (c *Checker) HoldsAt(f logic.Formula, s kripke.State) (bool, error) {
 // quantifiers are instantiated over the structure's index set first.  The
 // returned slice is shared with the checker's cache and must not be
 // modified.
-func (c *Checker) Sat(f logic.Formula) ([]bool, error) {
+func (c *Checker) Sat(ctx context.Context, f logic.Formula) ([]bool, error) {
 	if f == nil {
 		return nil, fmt.Errorf("mc: nil formula")
 	}
+	c.bind(ctx)
 	inst := f
 	if logic.HasIndexedQuantifier(f) || len(logic.FreeIndexVars(f)) > 0 {
 		g, err := logic.Instantiate(f, c.m.IndexValues())
@@ -112,8 +142,8 @@ func (c *Checker) Sat(f logic.Formula) ([]bool, error) {
 }
 
 // CountSat returns how many states satisfy f.
-func (c *Checker) CountSat(f logic.Formula) (int, error) {
-	sat, err := c.Sat(f)
+func (c *Checker) CountSat(ctx context.Context, f logic.Formula) (int, error) {
+	sat, err := c.Sat(ctx, f)
 	if err != nil {
 		return 0, err
 	}
@@ -127,8 +157,8 @@ func (c *Checker) CountSat(f logic.Formula) (int, error) {
 }
 
 // SatStates returns the states satisfying f in increasing order.
-func (c *Checker) SatStates(f logic.Formula) ([]kripke.State, error) {
-	sat, err := c.Sat(f)
+func (c *Checker) SatStates(ctx context.Context, f logic.Formula) ([]kripke.State, error) {
+	sat, err := c.Sat(ctx, f)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +177,9 @@ func (c *Checker) satState(f logic.Formula) ([]bool, error) {
 	key := logic.Key(f)
 	if sat, ok := c.cache[key]; ok {
 		return sat, nil
+	}
+	if err := c.cancelled(); err != nil {
+		return nil, err
 	}
 	sat, err := c.computeState(f)
 	if err != nil {

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestCTLOnLine(t *testing.T) {
 		{"A (r R (p | q | r))", true},
 	}
 	for _, tt := range tests {
-		got, err := c.Holds(logic.MustParse(tt.formula))
+		got, err := c.Holds(context.Background(), logic.MustParse(tt.formula))
 		if err != nil {
 			t.Fatalf("Holds(%q): %v", tt.formula, err)
 		}
@@ -135,7 +136,7 @@ func TestCTLOnBranch(t *testing.T) {
 		{"AG (q -> AG q)", true},
 	}
 	for _, tt := range tests {
-		got, err := c.Holds(logic.MustParse(tt.formula))
+		got, err := c.Holds(context.Background(), logic.MustParse(tt.formula))
 		if err != nil {
 			t.Fatalf("Holds(%q): %v", tt.formula, err)
 		}
@@ -186,7 +187,7 @@ func TestCTLStarPathFormulas(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			c := New(tt.m)
-			got, err := c.Holds(logic.MustParse(tt.formula))
+			got, err := c.Holds(context.Background(), logic.MustParse(tt.formula))
 			if err != nil {
 				t.Fatalf("Holds(%q): %v", tt.formula, err)
 			}
@@ -256,11 +257,11 @@ func TestTableauAgreesWithCTLFastPath(t *testing.T) {
 			}
 			cFast := New(m)
 			cSlow := New(m)
-			fast, err := cFast.Sat(logic.MustParse(fastText))
+			fast, err := cFast.Sat(context.Background(), logic.MustParse(fastText))
 			if err != nil {
 				t.Fatalf("Sat(%q): %v", fastText, err)
 			}
-			slow, err := cSlow.Sat(logic.MustParse(slowText))
+			slow, err := cSlow.Sat(context.Background(), logic.MustParse(slowText))
 			if err != nil {
 				t.Fatalf("Sat(%q): %v", slowText, err)
 			}
@@ -332,11 +333,11 @@ func TestCTLStarDualityRandom(t *testing.T) {
 		m := randomStructure(r, 3+r.Intn(4))
 		for _, pf := range paths {
 			c := New(m)
-			aSat, err := c.Sat(logic.MustParse("A (" + pf + ")"))
+			aSat, err := c.Sat(context.Background(), logic.MustParse("A ("+pf+")"))
 			if err != nil {
 				t.Fatalf("Sat(A %s): %v", pf, err)
 			}
-			eSat, err := c.Sat(logic.MustParse("!(E (!(" + pf + ")))"))
+			eSat, err := c.Sat(context.Background(), logic.MustParse("!(E (!("+pf+")))"))
 			if err != nil {
 				t.Fatalf("Sat(!E! %s): %v", pf, err)
 			}
@@ -377,7 +378,7 @@ func TestIndexedFormulasAndOne(t *testing.T) {
 		{"exists i . AG w[i]", false},
 	}
 	for _, tt := range tests {
-		got, err := c.Holds(logic.MustParse(tt.formula))
+		got, err := c.Holds(context.Background(), logic.MustParse(tt.formula))
 		if err != nil {
 			t.Fatalf("Holds(%q): %v", tt.formula, err)
 		}
@@ -390,16 +391,16 @@ func TestIndexedFormulasAndOne(t *testing.T) {
 func TestCheckerErrors(t *testing.T) {
 	m := buildLine(t)
 	c := New(m)
-	if _, err := c.Sat(nil); err == nil {
+	if _, err := c.Sat(context.Background(), nil); err == nil {
 		t.Error("Sat(nil) should fail")
 	}
-	if _, err := c.Sat(logic.MustParse("F p")); err == nil {
+	if _, err := c.Sat(context.Background(), logic.MustParse("F p")); err == nil {
 		t.Error("bare path formulas should be rejected")
 	}
-	if _, err := c.Sat(logic.MustParse("d[i]")); err == nil {
+	if _, err := c.Sat(context.Background(), logic.MustParse("d[i]")); err == nil {
 		t.Error("free index variables should be rejected")
 	}
-	if _, err := c.HoldsAt(logic.MustParse("p"), kripke.State(99)); err == nil {
+	if _, err := c.HoldsAt(context.Background(), logic.MustParse("p"), kripke.State(99)); err == nil {
 		t.Error("out-of-range state should be rejected")
 	}
 }
@@ -407,14 +408,14 @@ func TestCheckerErrors(t *testing.T) {
 func TestSatHelpers(t *testing.T) {
 	m := buildLine(t)
 	c := New(m)
-	n, err := c.CountSat(logic.MustParse("p | q"))
+	n, err := c.CountSat(context.Background(), logic.MustParse("p | q"))
 	if err != nil {
 		t.Fatalf("CountSat: %v", err)
 	}
 	if n != 2 {
 		t.Errorf("CountSat = %d, want 2", n)
 	}
-	states, err := c.SatStates(logic.MustParse("EF r"))
+	states, err := c.SatStates(context.Background(), logic.MustParse("EF r"))
 	if err != nil {
 		t.Fatalf("SatStates: %v", err)
 	}
@@ -426,7 +427,7 @@ func TestSatHelpers(t *testing.T) {
 	}
 	// The cache makes repeated queries cheap and stable.
 	before := c.Stats().StateSetsComputed
-	if _, err := c.Sat(logic.MustParse("EF r")); err != nil {
+	if _, err := c.Sat(context.Background(), logic.MustParse("EF r")); err != nil {
 		t.Fatalf("Sat: %v", err)
 	}
 	if c.Stats().StateSetsComputed != before {
@@ -438,7 +439,7 @@ func TestWitnessAndCounterexample(t *testing.T) {
 	m := buildBranch(t)
 	c := New(m)
 
-	w, err := c.Witness(logic.MustParse("EF r"), m.Initial())
+	w, err := c.Witness(context.Background(), logic.MustParse("EF r"), m.Initial())
 	if err != nil {
 		t.Fatalf("Witness(EF r): %v", err)
 	}
@@ -454,7 +455,7 @@ func TestWitnessAndCounterexample(t *testing.T) {
 		}
 	}
 
-	lasso, err := c.Witness(logic.MustParse("EG (p | q)"), m.Initial())
+	lasso, err := c.Witness(context.Background(), logic.MustParse("EG (p | q)"), m.Initial())
 	if err != nil {
 		t.Fatalf("Witness(EG): %v", err)
 	}
@@ -467,7 +468,7 @@ func TestWitnessAndCounterexample(t *testing.T) {
 		}
 	}
 
-	cx, err := c.Counterexample(logic.MustParse("AG (p | q)"), m.Initial())
+	cx, err := c.Counterexample(context.Background(), logic.MustParse("AG (p | q)"), m.Initial())
 	if err != nil {
 		t.Fatalf("Counterexample(AG): %v", err)
 	}
@@ -476,7 +477,7 @@ func TestWitnessAndCounterexample(t *testing.T) {
 		t.Errorf("AG counterexample should end in the violating r state, got %v", m.Label(last))
 	}
 
-	cx2, err := c.Counterexample(logic.MustParse("AF r"), m.Initial())
+	cx2, err := c.Counterexample(context.Background(), logic.MustParse("AF r"), m.Initial())
 	if err != nil {
 		t.Fatalf("Counterexample(AF): %v", err)
 	}
@@ -484,13 +485,13 @@ func TestWitnessAndCounterexample(t *testing.T) {
 		t.Error("AF counterexample should be a lasso avoiding r")
 	}
 
-	if _, err := c.Witness(logic.MustParse("EF r"), kripke.State(1)); err == nil {
+	if _, err := c.Witness(context.Background(), logic.MustParse("EF r"), kripke.State(1)); err == nil {
 		t.Error("witness for a formula that fails at the state should error")
 	}
-	if _, err := c.Counterexample(logic.MustParse("AF q"), m.Initial()); err == nil {
+	if _, err := c.Counterexample(context.Background(), logic.MustParse("AF q"), m.Initial()); err == nil {
 		t.Error("counterexample for a formula that holds should error")
 	}
-	if _, err := c.Witness(logic.MustParse("p"), m.Initial()); err == nil {
+	if _, err := c.Witness(context.Background(), logic.MustParse("p"), m.Initial()); err == nil {
 		t.Error("witnesses require E-rooted formulas")
 	}
 	if s := (&Trace{}).Format(m); s == "" {
@@ -504,28 +505,28 @@ func TestWitnessAndCounterexample(t *testing.T) {
 func TestWitnessEXAndEU(t *testing.T) {
 	m := buildLine(t)
 	c := New(m)
-	w, err := c.Witness(logic.MustParse("EX q"), m.Initial())
+	w, err := c.Witness(context.Background(), logic.MustParse("EX q"), m.Initial())
 	if err != nil {
 		t.Fatalf("Witness(EX q): %v", err)
 	}
 	if len(w.States) != 2 {
 		t.Errorf("EX witness should have exactly two states, got %v", w.States)
 	}
-	w, err = c.Witness(logic.MustParse("E (p U q)"), m.Initial())
+	w, err = c.Witness(context.Background(), logic.MustParse("E (p U q)"), m.Initial())
 	if err != nil {
 		t.Fatalf("Witness(EU): %v", err)
 	}
 	if !m.Holds(w.States[len(w.States)-1], kripke.P("q")) {
 		t.Error("EU witness should end in a q state")
 	}
-	cx, err := c.Counterexample(logic.MustParse("A (p U r)"), m.Initial())
+	cx, err := c.Counterexample(context.Background(), logic.MustParse("A (p U r)"), m.Initial())
 	if err != nil {
 		t.Fatalf("Counterexample(AU): %v", err)
 	}
 	if len(cx.States) == 0 {
 		t.Error("AU counterexample should be non-empty")
 	}
-	cxX, err := c.Counterexample(logic.MustParse("AX r"), m.Initial())
+	cxX, err := c.Counterexample(context.Background(), logic.MustParse("AX r"), m.Initial())
 	if err != nil {
 		t.Fatalf("Counterexample(AX): %v", err)
 	}
@@ -551,7 +552,7 @@ func TestTableauComplexityLimit(t *testing.T) {
 	for i := 1; i <= 21; i++ {
 		f = "(F p" + string(rune('0'+i%10)) + string(rune('a'+i/10)) + ") & " + f
 	}
-	_, err := c.Sat(logic.MustParse("E (" + f + ")"))
+	_, err := c.Sat(context.Background(), logic.MustParse("E ("+f+")"))
 	if err == nil {
 		t.Error("expected the tableau limit to trigger")
 	}

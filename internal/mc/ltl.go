@@ -193,6 +193,11 @@ func (c *Checker) runTableau(tb *tableau, placeholders map[string][]bool) ([]boo
 	}
 	combos := 1 << free
 	for s := 0; s < numStates; s++ {
+		if s&1023 == 0 {
+			if err := c.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		base, err := c.baseTruth(tb, kripke.State(s), placeholders)
 		if err != nil {
 			return nil, err
@@ -221,6 +226,11 @@ func (c *Checker) runTableau(tb *tableau, placeholders map[string][]bool) ([]boo
 	// Build edges.
 	g := graph.New(len(nodes))
 	for ni, n := range nodes {
+		if ni&1023 == 0 {
+			if err := c.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		for _, t := range c.m.Succ(n.state) {
 			for _, mj := range nodesOfState[t] {
 				if tb.edgeAllowed(n.truth, nodes[mj].truth) {

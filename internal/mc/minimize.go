@@ -1,6 +1,8 @@
 package mc
 
 import (
+	"context"
+
 	"repro/internal/bisim"
 	"repro/internal/kripke"
 )
@@ -24,8 +26,8 @@ import (
 // Answers agree with a plain New(m) checker on every CTL* formula without
 // nexttime; formulas using X are interpreted over the quotient and may
 // legitimately differ, which is exactly why the paper's logics exclude X.
-func NewMinimized(m *kripke.Structure, opts bisim.Options) (*Checker, *bisim.MinimizeResult, error) {
-	res, err := bisim.Minimize(m, opts)
+func NewMinimized(ctx context.Context, m *kripke.Structure, opts bisim.Options) (*Checker, *bisim.MinimizeResult, error) {
+	res, err := bisim.Minimize(ctx, m, opts)
 	if err != nil {
 		return New(m), nil, err
 	}

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bisim"
@@ -39,7 +40,7 @@ func TestNewMinimizedAgreesWithPlainChecker(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reduced, minres, err := NewMinimized(m, bisim.Options{})
+	reduced, minres, err := NewMinimized(context.Background(), m, bisim.Options{})
 	if minres == nil {
 		t.Fatalf("quotient unexpectedly refused for a plain stutter chain: %v", err)
 	}
@@ -49,11 +50,11 @@ func TestNewMinimizedAgreesWithPlainChecker(t *testing.T) {
 	plain := New(m)
 	for _, text := range []string{"AF b", "AG (a -> AF b)", "EG a", "A (a U b)", "EF (b & EF a)", "E (G (F b))"} {
 		f := logic.MustParse(text)
-		hp, err := plain.Holds(f)
+		hp, err := plain.Holds(context.Background(), f)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hr, err := reduced.Holds(f)
+		hr, err := reduced.Holds(context.Background(), f)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,8 +52,8 @@ func (t *Trace) Format(m *kripke.Structure) string {
 // holds at state s, or an error if f does not hold at s or is not of a
 // supported shape (EX g, EF g, E[g U h], EG g, possibly under instantiated
 // indexed quantifiers).
-func (c *Checker) Witness(f logic.Formula, s kripke.State) (*Trace, error) {
-	holds, err := c.HoldsAt(f, s)
+func (c *Checker) Witness(ctx context.Context, f logic.Formula, s kripke.State) (*Trace, error) {
+	holds, err := c.HoldsAt(ctx, f, s)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +66,7 @@ func (c *Checker) Witness(f logic.Formula, s kripke.State) (*Trace, error) {
 	}
 	switch node := e.F.(type) {
 	case *logic.X:
-		inner, err := c.Sat(node.F)
+		inner, err := c.Sat(ctx, node.F)
 		if err != nil {
 			return nil, err
 		}
@@ -75,24 +76,24 @@ func (c *Checker) Witness(f logic.Formula, s kripke.State) (*Trace, error) {
 			}
 		}
 	case *logic.Ev:
-		goal, err := c.Sat(node.F)
+		goal, err := c.Sat(ctx, node.F)
 		if err != nil {
 			return nil, err
 		}
 		all := constSet(c.m.NumStates(), true)
 		return c.untilWitness(s, all, goal)
 	case *logic.U:
-		through, err := c.Sat(node.L)
+		through, err := c.Sat(ctx, node.L)
 		if err != nil {
 			return nil, err
 		}
-		goal, err := c.Sat(node.R)
+		goal, err := c.Sat(ctx, node.R)
 		if err != nil {
 			return nil, err
 		}
 		return c.untilWitness(s, through, goal)
 	case *logic.Alw:
-		inv, err := c.Sat(node.F)
+		inv, err := c.Sat(ctx, node.F)
 		if err != nil {
 			return nil, err
 		}
@@ -104,8 +105,8 @@ func (c *Checker) Witness(f logic.Formula, s kripke.State) (*Trace, error) {
 // Counterexample returns a trace demonstrating that the universal CTL
 // formula f fails at state s.  Supported shapes: AG g (path to a ¬g state),
 // AF g (a ¬g lasso), A[g U h] and AX g.
-func (c *Checker) Counterexample(f logic.Formula, s kripke.State) (*Trace, error) {
-	holds, err := c.HoldsAt(f, s)
+func (c *Checker) Counterexample(ctx context.Context, f logic.Formula, s kripke.State) (*Trace, error) {
+	holds, err := c.HoldsAt(ctx, f, s)
 	if err != nil {
 		return nil, err
 	}
@@ -119,20 +120,20 @@ func (c *Checker) Counterexample(f logic.Formula, s kripke.State) (*Trace, error
 	switch node := a.F.(type) {
 	case *logic.Alw:
 		// ¬AG g has an EF ¬g witness.
-		return c.Witness(logic.EF(logic.Neg(node.F)), s)
+		return c.Witness(ctx, logic.EF(logic.Neg(node.F)), s)
 	case *logic.Ev:
 		// ¬AF g has an EG ¬g witness.
-		return c.Witness(logic.EG(logic.Neg(node.F)), s)
+		return c.Witness(ctx, logic.EG(logic.Neg(node.F)), s)
 	case *logic.X:
-		return c.Witness(logic.EX(logic.Neg(node.F)), s)
+		return c.Witness(ctx, logic.EX(logic.Neg(node.F)), s)
 	case *logic.U:
 		// ¬A[g U h] ≡ E[¬h U (¬g ∧ ¬h)] ∨ EG ¬h.
 		notH := logic.Neg(node.R)
 		alt1 := logic.EU(notH, logic.Conj(logic.Neg(node.L), notH))
-		if holds, err := c.HoldsAt(alt1, s); err == nil && holds {
-			return c.Witness(alt1, s)
+		if holds, err := c.HoldsAt(ctx, alt1, s); err == nil && holds {
+			return c.Witness(ctx, alt1, s)
 		}
-		return c.Witness(logic.EG(notH), s)
+		return c.Witness(ctx, logic.EG(notH), s)
 	}
 	return nil, fmt.Errorf("mc: unsupported counterexample shape A %s", a.F)
 }

@@ -1,6 +1,7 @@
 package paperfig
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bisim"
@@ -19,7 +20,7 @@ func TestFig31RealisesTheStatedDegrees(t *testing.T) {
 	if err := right.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := bisim.Compute(left, right, bisim.Options{})
+	res, err := bisim.Compute(context.Background(), left, right, bisim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFig41CountingFormulaCountsProcesses(t *testing.T) {
 		checker := mc.New(m)
 		for k := 1; k <= 5; k++ {
 			f := Fig41CountingFormula(k)
-			holds, err := checker.Holds(f)
+			holds, err := checker.Holds(context.Background(), f)
 			if err != nil {
 				t.Fatalf("n=%d k=%d: %v", n, k, err)
 			}
@@ -93,7 +94,7 @@ func TestFig41RestrictedFormulasAreSizeIndependent(t *testing.T) {
 			if violations := logic.CheckRestricted(f); len(violations) != 0 {
 				t.Fatalf("battery formula %s is not restricted: %v", f, violations)
 			}
-			holds, err := checker.Holds(f)
+			holds, err := checker.Holds(context.Background(), f)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bisim"
@@ -209,10 +210,10 @@ func IndexRelationFor(small, r int) []bisim.IndexPair {
 // DecideCorrespondence decides the indexed correspondence between two
 // explicitly built instances through the partition-refinement engine behind
 // bisim.Compute, with the canonical IN relation and options.  It is the one
-// entry point the experiment harness, cmd/ringverify and the examples
-// share.
-func DecideCorrespondence(small, large *Instance) (*bisim.IndexedResult, error) {
-	return bisim.IndexedCompute(small.M, large.M, IndexRelationFor(small.R, large.R), CorrespondOptions())
+// entry point the experiment harness, the serving layer and the examples
+// share.  Cancelling ctx stops the underlying worker pool promptly.
+func DecideCorrespondence(ctx context.Context, small, large *Instance) (*bisim.IndexedResult, error) {
+	return bisim.IndexedCompute(ctx, small.M, large.M, IndexRelationFor(small.R, large.R), CorrespondOptions())
 }
 
 // CutoffSize is the smallest ring that represents all larger rings: the

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -36,11 +37,11 @@ func TestRefinementMatchesFixpointOnRingFixtures(t *testing.T) {
 				left := smallInst.M.ReduceNormalized(pair.I)
 				right := largeInst.M.ReduceNormalized(pair.I2)
 				label := fmt.Sprintf("M_%d|%d vs M_%d|%d", small, pair.I, r, pair.I2)
-				refined, err := bisim.Compute(left, right, opts)
+				refined, err := bisim.Compute(context.Background(), left, right, opts)
 				if err != nil {
 					t.Fatalf("%s: Compute: %v", label, err)
 				}
-				oracle, err := bisim.ComputeFixpoint(left, right, opts)
+				oracle, err := bisim.ComputeFixpoint(context.Background(), left, right, opts)
 				if err != nil {
 					t.Fatalf("%s: ComputeFixpoint: %v", label, err)
 				}
@@ -63,11 +64,11 @@ func TestRefinementMatchesFixpointOnSelfReductions(t *testing.T) {
 		for _, i := range []int{1, 2} {
 			red := inst.M.ReduceNormalized(i)
 			label := fmt.Sprintf("self M_%d|%d", r, i)
-			refined, err := bisim.Compute(red, red, opts)
+			refined, err := bisim.Compute(context.Background(), red, red, opts)
 			if err != nil {
 				t.Fatalf("%s: Compute: %v", label, err)
 			}
-			oracle, err := bisim.ComputeFixpoint(red, red, opts)
+			oracle, err := bisim.ComputeFixpoint(context.Background(), red, red, opts)
 			if err != nil {
 				t.Fatalf("%s: ComputeFixpoint: %v", label, err)
 			}
@@ -112,11 +113,11 @@ func TestDecideCorrespondenceMatchesManualRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaHelper, err := DecideCorrespondence(small, large)
+	viaHelper, err := DecideCorrespondence(context.Background(), small, large)
 	if err != nil {
 		t.Fatal(err)
 	}
-	manual, err := bisim.IndexedCompute(small.M, large.M, CutoffIndexRelation(CutoffSize, 5), CorrespondOptions())
+	manual, err := bisim.IndexedCompute(context.Background(), small.M, large.M, CutoffIndexRelation(CutoffSize, 5), CorrespondOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

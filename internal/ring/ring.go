@@ -13,6 +13,7 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -245,6 +246,11 @@ type Instance struct {
 // roughly r = 16.
 const MaxExplicitStates = 1 << 21
 
+// ErrTooLarge marks build refusals for instances beyond the
+// explicit-construction limit, so callers (e.g. the HTTP service) can tell
+// "this size can never be built" apart from engine failures.
+var ErrTooLarge = errors.New("instance beyond the explicit-construction limit")
+
 // Build constructs M_r for a ring of r processes (r ≥ 1).  For r beyond the
 // explicit-construction limit it returns an error: that is exactly the
 // regime the correspondence theorem (and the LocalCheck in this package)
@@ -256,7 +262,7 @@ func Build(r int) (*Instance, error) {
 	expected := expectedReachable(r)
 	if expected > MaxExplicitStates {
 		return nil, fmt.Errorf("ring: r=%d has about %d reachable states, beyond the explicit limit %d; "+
-			"use LocalCheck / the correspondence theorem instead", r, expected, MaxExplicitStates)
+			"use LocalCheck / the correspondence theorem instead: %w", r, expected, MaxExplicitStates, ErrTooLarge)
 	}
 	b := kripke.NewBuilder(fmt.Sprintf("ring[%d]", r))
 	for i := 1; i <= r; i++ {
@@ -443,7 +449,7 @@ func BuildBuggy(r int) (*Instance, error) {
 		return nil, fmt.Errorf("ring: need at least one process, got %d", r)
 	}
 	if expectedReachable(r) > MaxExplicitStates {
-		return nil, fmt.Errorf("ring: r=%d is beyond the explicit limit", r)
+		return nil, fmt.Errorf("ring: r=%d is beyond the explicit limit: %w", r, ErrTooLarge)
 	}
 	b := kripke.NewBuilder(fmt.Sprintf("ring-buggy[%d]", r))
 	for i := 1; i <= r; i++ {

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -201,7 +202,7 @@ func TestTemporalInvariantsAndProperties(t *testing.T) {
 		}
 		checker := mc.New(inst.M)
 		for _, inv := range Invariants() {
-			holds, err := checker.Holds(inv.Formula)
+			holds, err := checker.Holds(context.Background(), inv.Formula)
 			if err != nil {
 				t.Fatalf("r=%d invariant %s: %v", r, inv.Name, err)
 			}
@@ -210,7 +211,7 @@ func TestTemporalInvariantsAndProperties(t *testing.T) {
 			}
 		}
 		for _, prop := range Properties() {
-			holds, err := checker.Holds(prop.Formula)
+			holds, err := checker.Holds(context.Background(), prop.Formula)
 			if err != nil {
 				t.Fatalf("r=%d property %s: %v", r, prop.Name, err)
 			}
@@ -240,7 +241,7 @@ func TestOneProcessRingDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build(1): %v", err)
 	}
-	holds, err := mc.New(inst.M).Holds(logic.MustParse("exists i . EF d[i]"))
+	holds, err := mc.New(inst.M).Holds(context.Background(), logic.MustParse("exists i . EF d[i]"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestOneProcessRingDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := bisim.IndexedCompute(two.M, inst.M, []bisim.IndexPair{{I: 1, I2: 1}, {I: 2, I2: 1}},
+	res, err := bisim.IndexedCompute(context.Background(), two.M, inst.M, []bisim.IndexPair{{I: 1, I2: 1}, {I: 2, I2: 1}},
 		bisim.Options{OneProps: []string{PropToken}, ReachableOnly: true})
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +278,7 @@ func TestNoIndexedCorrespondenceM2ToLargerRings(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Build(%d): %v", r, err)
 		}
-		res, err := bisim.IndexedCompute(small.M, large.M, IndexRelation(2, r), opts)
+		res, err := bisim.IndexedCompute(context.Background(), small.M, large.M, IndexRelation(2, r), opts)
 		if err != nil {
 			t.Fatalf("IndexedCompute r=%d: %v", r, err)
 		}
@@ -286,7 +287,7 @@ func TestNoIndexedCorrespondenceM2ToLargerRings(t *testing.T) {
 		}
 		for i := 1; i <= 2; i++ {
 			for j := 1; j <= r; j++ {
-				ok, err := bisim.Correspond(small.M.ReduceNormalized(i), large.M.ReduceNormalized(j), opts)
+				ok, err := bisim.Correspond(context.Background(), small.M.ReduceNormalized(i), large.M.ReduceNormalized(j), opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -297,7 +298,7 @@ func TestNoIndexedCorrespondenceM2ToLargerRings(t *testing.T) {
 		}
 	}
 	// Sanity: M_2 corresponds to itself under the paper's IN relation.
-	self, err := bisim.IndexedCompute(small.M, small.M, IndexRelation(2, 2), opts)
+	self, err := bisim.IndexedCompute(context.Background(), small.M, small.M, IndexRelation(2, 2), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestIndexedCorrespondenceFromCutoffThree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Build(%d): %v", r, err)
 		}
-		res, err := bisim.IndexedCompute(small.M, large.M, CutoffIndexRelation(CutoffSize, r), opts)
+		res, err := bisim.IndexedCompute(context.Background(), small.M, large.M, CutoffIndexRelation(CutoffSize, r), opts)
 		if err != nil {
 			t.Fatalf("IndexedCompute r=%d: %v", r, err)
 		}
@@ -359,7 +360,7 @@ func TestDistinguishingFormulaSeparatesM2(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		holds, err := mc.New(inst.M).Holds(chi)
+		holds, err := mc.New(inst.M).Holds(context.Background(), chi)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -535,11 +536,11 @@ func TestPaperRelationHasAViolation(t *testing.T) {
 	if !ok {
 		t.Fatal("state (T,D,D) should be reachable")
 	}
-	holdsTN, err := checker.HoldsAt(phi, tn)
+	holdsTN, err := checker.HoldsAt(context.Background(), phi, tn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	holdsTDD, err := checker.HoldsAt(phi, tdd)
+	holdsTDD, err := checker.HoldsAt(context.Background(), phi, tdd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -721,14 +722,14 @@ func TestBuggyVariantViolatesMutualExclusion(t *testing.T) {
 		t.Fatalf("BuildBuggy: %v", err)
 	}
 	checker := mc.New(inst.M)
-	oneToken, err := checker.Holds(logic.MustParse("AG (one t)"))
+	oneToken, err := checker.Holds(context.Background(), logic.MustParse("AG (one t)"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if oneToken {
 		t.Error("the buggy protocol should violate the exactly-one-token invariant")
 	}
-	mutex, err := checker.Holds(logic.MustParse("AG ((exists i . c[i]) -> (one c))"))
+	mutex, err := checker.Holds(context.Background(), logic.MustParse("AG ((exists i . c[i]) -> (one c))"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -742,7 +743,7 @@ func TestBuggyVariantViolatesMutualExclusion(t *testing.T) {
 	}
 	goodChecker := mc.New(good.M)
 	for _, text := range []string{"AG (one t)", "AG ((exists i . c[i]) -> (one c))"} {
-		holds, err := goodChecker.Holds(logic.MustParse(text))
+		holds, err := goodChecker.Holds(context.Background(), logic.MustParse(text))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -751,7 +752,7 @@ func TestBuggyVariantViolatesMutualExclusion(t *testing.T) {
 		}
 	}
 	// A counterexample trace for the violated invariant can be produced.
-	cx, err := checker.Counterexample(logic.MustParse("AG (one t)"), inst.M.Initial())
+	cx, err := checker.Counterexample(context.Background(), logic.MustParse("AG (one t)"), inst.M.Initial())
 	if err != nil {
 		t.Fatalf("Counterexample: %v", err)
 	}

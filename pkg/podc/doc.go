@@ -1,0 +1,40 @@
+// Package podc is the public API of the repro library: a reproduction of
+// Browne, Clarke and Grumberg, "Reasoning about Networks with Many Identical
+// Finite State Processes" (PODC 1986; Information and Computation 81, 1989).
+//
+// The package wraps the internal engines — Kripke structures, the CTL*/ICTL*
+// model checker, the stuttering-correspondence decision procedure and the
+// parameterized-verification methodology — behind a small set of stable
+// types:
+//
+//   - Structure and Builder construct, parse and serialise Kripke
+//     structures (the labelled transition graphs of Section 2);
+//   - Formula parses and classifies CTL*/ICTL* specifications;
+//   - Verifier model checks formulas against one structure, optionally
+//     after quotienting it by its verified self-correspondence
+//     (WithMinimize);
+//   - Correspond / IndexedCorrespond decide the stuttering correspondence
+//     of Section 3 and its indexed variant of Section 4, the relations that
+//     transfer CTL* (no nexttime) truth between structures of different
+//     sizes (Theorems 2 and 5);
+//   - Family and VerifyFamily run the paper's three-step methodology
+//     (check a small instance, establish the correspondence, conclude for
+//     every size) and produce portable TransferCertificates;
+//   - Session is the serving-side entry point: a long-lived, concurrency-safe
+//     cache of built structures, verifiers and decided correspondences with
+//     streaming (iter.Seq) delivery of sweeps and experiment tables.
+//
+// Every potentially long-running operation takes a context.Context and
+// returns promptly with the context's error once it is cancelled or its
+// deadline passes; the internal engines poll the context at pass boundaries,
+// so cancellation reaches even a correspondence computation that is deep in
+// its refinement loop.
+//
+// Behaviour is configured with functional options (WithWorkers,
+// WithMinimize, WithAtoms, ...) rather than option structs; unknown
+// combinations are diagnosed by the constructors.
+//
+// The command line tools under cmd/ and the runnable examples under
+// examples/ are all written against this package; cmd/podcserve exposes the
+// same operations as an HTTP/JSON service.
+package podc

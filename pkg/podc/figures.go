@@ -1,0 +1,51 @@
+package podc
+
+import (
+	"repro/internal/paperfig"
+)
+
+// This file exposes the paper's executable figures, so examples and
+// services can refer to them without reaching into the internals.
+
+// PaperFig31 reconstructs Fig. 3.1: a pair of corresponding structures in
+// which one state of the second structure exactly matches a state of the
+// first (degree 0) while another needs two stuttering transitions to reach
+// an exact match (degree 2).
+func PaperFig31() (left, right *Structure, err error) {
+	l, r, err := paperfig.Fig31()
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapStructure(l), wrapStructure(r), nil
+}
+
+// CountingStructure builds the Fig. 4.1 family member with n processes:
+// each process starts with a_i and may take one step, after which b_i holds
+// forever.  The family demonstrates why the indexed logic must be
+// restricted — unrestricted quantifier nesting counts processes.
+func CountingStructure(n int) (*Structure, error) {
+	m, err := paperfig.Fig41(n)
+	if err != nil {
+		return nil, err
+	}
+	return wrapStructure(m), nil
+}
+
+// CountingFormula returns the depth-k nested counting formula of Fig. 4.1,
+// which holds exactly on products with at least k processes (and therefore
+// lies outside the restricted fragment).
+func CountingFormula(k int) Formula {
+	return wrapFormula(paperfig.Fig41CountingFormula(k))
+}
+
+// CountingRestrictedFormulas returns restricted ICTL* formulas over the
+// Fig. 4.1 vocabulary, whose truth is independent of the number of
+// processes (n ≥ 2) — the behaviour Theorem 5 guarantees.
+func CountingRestrictedFormulas() []Formula {
+	fs := paperfig.Fig41RestrictedFormulas()
+	out := make([]Formula, len(fs))
+	for i, f := range fs {
+		out[i] = wrapFormula(f)
+	}
+	return out
+}

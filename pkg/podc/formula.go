@@ -1,0 +1,100 @@
+package podc
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Formula is a parsed CTL*/ICTL* formula.  The zero value is the invalid
+// formula; obtain formulas with ParseFormula or MustParseFormula.  Formulas
+// are immutable and safe to share.
+//
+// The concrete syntax follows the library's logic package, e.g.
+//
+//	AG (red -> walk)
+//	A (G (red -> F green))
+//	forall i . AG (d[i] -> AF c[i])
+//	exists i . EF (d[i] & E[d[i] U c[i]])
+//	one t                       — the "exactly one token" atom of Section 4
+type Formula struct {
+	f logic.Formula
+}
+
+// ParseFormula parses a CTL*/ICTL* formula.
+func ParseFormula(text string) (Formula, error) {
+	f, err := logic.Parse(text)
+	if err != nil {
+		return Formula{}, err
+	}
+	return Formula{f: f}, nil
+}
+
+// MustParseFormula is ParseFormula that panics on error; for use with
+// literals in examples and tests.
+func MustParseFormula(text string) Formula {
+	return Formula{f: logic.MustParse(text)}
+}
+
+func wrapFormula(f logic.Formula) Formula { return Formula{f: f} }
+
+func (f Formula) raw() logic.Formula { return f.f }
+
+// IsValid reports whether the formula was produced by a successful parse
+// (the zero Formula is invalid).
+func (f Formula) IsValid() bool { return f.f != nil }
+
+// String renders the formula in the concrete syntax.
+func (f Formula) String() string {
+	if f.f == nil {
+		return "<invalid formula>"
+	}
+	return f.f.String()
+}
+
+// IsRestricted reports whether the formula lies in the *restricted* ICTL*
+// fragment of Section 4 — the fragment for which Theorem 5 transfers truth
+// across indexed correspondences.
+func (f Formula) IsRestricted() bool {
+	return f.f != nil && logic.IsRestricted(f.f)
+}
+
+// RestrictionIssues explains why the formula falls outside the restricted
+// ICTL* fragment; it returns nil when the formula is restricted.
+func (f Formula) RestrictionIssues() []string {
+	if f.f == nil {
+		return []string{"invalid formula"}
+	}
+	var out []string
+	for _, v := range logic.CheckRestricted(f.f) {
+		out = append(out, v.Error())
+	}
+	return out
+}
+
+// IsCTL reports whether the formula is CTL-shaped (every temporal operator
+// immediately under a path quantifier), which enables the linear-time
+// labelling engine and witness extraction.
+func (f Formula) IsCTL() bool { return f.f != nil && logic.IsCTL(f.f) }
+
+// IsClosed reports whether the formula has no free index variables.
+func (f Formula) IsClosed() bool { return f.f != nil && logic.IsClosed(f.f) }
+
+// Instantiate expands the indexed quantifiers ∧i / ∨i over the given
+// concrete index set, yielding an ordinary CTL* formula (the form the
+// counterexample machinery works on).
+func (f Formula) Instantiate(indices []int) (Formula, error) {
+	if f.f == nil {
+		return Formula{}, errInvalidFormula()
+	}
+	g, err := logic.Instantiate(f.f, indices)
+	if err != nil {
+		return Formula{}, err
+	}
+	return wrapFormula(g), nil
+}
+
+// errInvalidFormula is returned by operations handed the zero Formula.
+func errInvalidFormula() error {
+	return fmt.Errorf("podc: invalid formula (use ParseFormula)")
+}

@@ -1,0 +1,99 @@
+package podc
+
+import (
+	"repro/internal/bisim"
+)
+
+// Option configures a Verifier, a correspondence computation, a Session or
+// a family verification run.  Options follow the functional-options
+// pattern: pass any number of them to a constructor; later options override
+// earlier ones.  Options that do not apply to the receiving operation are
+// ignored, so a Session can be configured once with the union of the knobs
+// its operations need.
+type Option func(*config)
+
+// config is the merged option state.
+type config struct {
+	workers       int
+	minimize      bool
+	atoms         []string
+	reachableOnly bool
+
+	// family verification knobs (VerifyFamily).
+	smallSize            int
+	correspondenceSizes  []int
+	skipRestrictionCheck bool
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+func (c config) bisimOptions() bisim.Options {
+	return bisim.Options{
+		OneProps:      append([]string(nil), c.atoms...),
+		ReachableOnly: c.reachableOnly,
+		Workers:       c.workers,
+	}
+}
+
+// WithWorkers caps the worker pools used by indexed correspondence
+// computations, sweeps and experiment batteries.  Zero or negative (the
+// default) means one worker per available CPU.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithMinimize makes a Verifier quotient the structure by its verified
+// maximal self-correspondence before checking.  CTL* (no nexttime) answers
+// are preserved by Theorem 2; X-formulas and witness traces refer to the
+// quotient.  When the quotient is refused (the degree-bounded relation is
+// not always a congruence for state fusion) the verifier silently keeps the
+// original structure; Verifier.Minimized reports which happened.
+func WithMinimize() Option {
+	return func(c *config) { c.minimize = true }
+}
+
+// WithAtoms adds the "exactly one" atoms O_i P_i of Section 4 for the named
+// indexed propositions to the compared vocabulary: corresponding states
+// must then agree on whether exactly one process satisfies each named
+// proposition.  The token-ring correspondences of the paper need
+// WithAtoms("t").
+func WithAtoms(names ...string) Option {
+	return func(c *config) { c.atoms = append(c.atoms, names...) }
+}
+
+// WithReachableOnly restricts the totality requirement of the
+// correspondence definition to the states reachable from the initial
+// states, which is the natural reading for structures that were not
+// pre-restricted (the paper's M_r is a reachable restriction by
+// construction, so for it the readings coincide).
+func WithReachableOnly() Option {
+	return func(c *config) { c.reachableOnly = true }
+}
+
+// WithSmallSize sets the size of the instance that VerifyFamily model
+// checks exhaustively (the paper's Section 5 uses 2; the reproduction's
+// corrected cutoff is 3).  The default is 2.
+func WithSmallSize(n int) Option {
+	return func(c *config) { c.smallSize = n }
+}
+
+// WithCorrespondenceSizes sets the instance sizes for which VerifyFamily
+// establishes the indexed correspondence with the small instance.
+func WithCorrespondenceSizes(sizes ...int) Option {
+	return func(c *config) { c.correspondenceSizes = append(c.correspondenceSizes, sizes...) }
+}
+
+// WithoutRestrictionCheck disables the restricted-ICTL* well-formedness
+// check in VerifyFamily; useful for experiments that deliberately step
+// outside the transferable fragment.
+func WithoutRestrictionCheck() Option {
+	return func(c *config) { c.skipRestrictionCheck = true }
+}

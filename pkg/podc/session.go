@@ -1,0 +1,407 @@
+package podc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Session is the long-lived, serving-side entry point of the library: it
+// caches built ring instances, verifiers (and their memoised satisfaction
+// sets), decided correspondences and finished experiment tables across
+// calls, so that a process answering many verification requests — the HTTP
+// service of cmd/podcserve, a REPL, a long sweep — pays for each expensive
+// artefact once.
+//
+// Sessions are safe for concurrent use.  Identical in-flight requests are
+// deduplicated: when two goroutines ask for the same correspondence, one
+// computes and the other waits for the result (or for its own context to be
+// cancelled — a waiter's cancellation never cancels the computing call).
+// Failed computations are not cached, so a request that failed because its
+// context expired can be retried.
+type Session struct {
+	cfg config
+
+	mu         sync.Mutex
+	rings      map[int]*flight[*Ring]
+	verifiers  map[int]*flight[*Verifier]
+	corr       map[[2]int]*flight[*IndexedCorrespondence]
+	certs      map[[2]int]*flight[*TransferCertificate]
+	tables     map[string]*flight[*Table]
+	structures map[string]*Structure
+}
+
+// NewSession returns an empty Session.  Options set the session-wide
+// defaults: WithWorkers caps every worker pool the session spawns,
+// WithMinimize makes the session's verifiers check verified quotients.
+func NewSession(opts ...Option) *Session {
+	return &Session{
+		cfg:        buildConfig(opts),
+		rings:      make(map[int]*flight[*Ring]),
+		verifiers:  make(map[int]*flight[*Verifier]),
+		corr:       make(map[[2]int]*flight[*IndexedCorrespondence]),
+		certs:      make(map[[2]int]*flight[*TransferCertificate]),
+		tables:     make(map[string]*flight[*Table]),
+		structures: make(map[string]*Structure),
+	}
+}
+
+// flight is one cached (or in-flight) computation.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// getOrCompute returns the cached value for key, joining an in-flight
+// computation when one exists and starting one otherwise.  Errors are not
+// cached: the failed entry is dropped so a later call retries.  A joined
+// computation runs under the *first* caller's context; when that caller is
+// cancelled, a still-healthy waiter does not inherit the foreign context
+// error — it retries (becoming the new computing caller), so one client's
+// disconnect never fails another client's identical request.
+func getOrCompute[K comparable, T any](ctx context.Context, s *Session, m map[K]*flight[T], key K, compute func() (T, error)) (T, error) {
+	for {
+		s.mu.Lock()
+		f, ok := m[key]
+		if !ok {
+			f = &flight[T]{done: make(chan struct{})}
+			m[key] = f
+			s.mu.Unlock()
+			f.val, f.err = compute()
+			if f.err != nil {
+				s.mu.Lock()
+				if m[key] == f {
+					delete(m, key)
+				}
+				s.mu.Unlock()
+			}
+			close(f.done)
+			return f.val, f.err
+		}
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil && ctx.Err() == nil &&
+				(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				// The computing caller's context died, not ours; its entry
+				// has been dropped, so loop and recompute under our own.
+				continue
+			}
+			return f.val, f.err
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Ring returns the cached ring instance M_r, building it on first use.
+func (s *Session) Ring(ctx context.Context, r int) (*Ring, error) {
+	return getOrCompute(ctx, s, s.rings, r, func() (*Ring, error) {
+		return BuildRing(r)
+	})
+}
+
+// RingVerifier returns the cached Verifier for M_r; its memoised
+// satisfaction sets are shared by every subsequent check against that size.
+func (s *Session) RingVerifier(ctx context.Context, r int) (*Verifier, error) {
+	return getOrCompute(ctx, s, s.verifiers, r, func() (*Verifier, error) {
+		rg, err := s.Ring(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		// The session's full option state applies — no hand-copied subset,
+		// so knobs like WithReachableOnly reach the quotient decision too.
+		return newVerifier(ctx, rg.Structure(), s.cfg)
+	})
+}
+
+// CheckRing model checks a formula against the cached ring M_r.
+func (s *Session) CheckRing(ctx context.Context, r int, f Formula) (bool, error) {
+	v, err := s.RingVerifier(ctx, r)
+	if err != nil {
+		return false, err
+	}
+	return v.Check(ctx, f)
+}
+
+// RingCorrespondence decides (and caches) the canonical indexed
+// correspondence between M_small and M_large.  Concurrent requests for the
+// same pair share one computation.
+func (s *Session) RingCorrespondence(ctx context.Context, small, large int) (*IndexedCorrespondence, error) {
+	return getOrCompute(ctx, s, s.corr, [2]int{small, large}, func() (*IndexedCorrespondence, error) {
+		sm, err := s.Ring(ctx, small)
+		if err != nil {
+			return nil, err
+		}
+		lg, err := s.Ring(ctx, large)
+		if err != nil {
+			return nil, err
+		}
+		return RingCorrespondence(ctx, sm, lg)
+	})
+}
+
+// sessionRingFamily is TokenRingFamily backed by the session's ring cache.
+func (s *Session) sessionRingFamily(ctx context.Context) Family {
+	base := TokenRingFamily().(*FamilyFunc)
+	return &FamilyFunc{
+		FamilyName: base.FamilyName,
+		BuildFunc: func(n int) (*Structure, error) {
+			rg, err := s.Ring(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			return rg.Structure(), nil
+		},
+		Indices:   base.Indices,
+		AtomNames: base.AtomNames,
+	}
+}
+
+// RingTransferCertificate builds (and caches) the transfer certificate for
+// the pair (small, large): the serialisable per-index-pair relations that
+// justify transferring restricted ICTL* truth from M_small to M_large.
+func (s *Session) RingTransferCertificate(ctx context.Context, small, large int) (*TransferCertificate, error) {
+	return getOrCompute(ctx, s, s.certs, [2]int{small, large}, func() (*TransferCertificate, error) {
+		return BuildTransferCertificate(ctx, s.sessionRingFamily(ctx), small, large)
+	})
+}
+
+// AddStructure registers a named structure with the session, so later
+// Check calls (and HTTP requests) can refer to it by name.  Re-registering
+// a name replaces the previous structure.
+func (s *Session) AddStructure(name string, m *Structure) error {
+	if name == "" {
+		return fmt.Errorf("podc: AddStructure: empty name")
+	}
+	if m == nil {
+		return fmt.Errorf("podc: AddStructure: nil structure")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.structures[name] = m
+	return nil
+}
+
+// StructureByName returns a structure previously registered with
+// AddStructure.
+func (s *Session) StructureByName(name string) (*Structure, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.structures[name]
+	return m, ok
+}
+
+// SweepResult is one ring size's verdict from Sweep, streamed as soon as it
+// is decided.
+type SweepResult struct {
+	R           int           `json:"r"`
+	States      int           `json:"states"`
+	Transitions int           `json:"transitions"`
+	Corresponds bool          `json:"corresponds"`
+	MaxDegree   int           `json:"max_degree"`
+	Build       time.Duration `json:"build_ns"`
+	Decide      time.Duration `json:"decide_ns"`
+	// Err is non-nil when this size failed (the sweep continues with the
+	// remaining sizes).
+	Err error `json:"-"`
+}
+
+// Sweep decides the cutoff correspondence M_cutoff ~ M_r for every
+// requested size on a worker pool and yields each verdict the moment it is
+// decided, in completion order.  Breaking out of the iteration cancels the
+// remaining work; cancelling ctx ends the stream early.  Every verdict that
+// comes back true extends the range of sizes over which Theorem 5 transfers
+// the Section 5 properties.
+func (s *Session) Sweep(ctx context.Context, sizes []int) iter.Seq[SweepResult] {
+	runner := experiments.Runner{Workers: s.cfg.workers}
+	return func(yield func(SweepResult) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ch := runner.CorrespondenceSweep(ctx, sizes)
+		for row := range ch {
+			res := SweepResult{
+				R:           row.R,
+				States:      row.States,
+				Transitions: row.Transitions,
+				Corresponds: row.Corresponds,
+				MaxDegree:   row.MaxDegree,
+				Build:       row.BuildElapsed,
+				Decide:      row.DecideElapsed,
+				Err:         row.Err,
+			}
+			if !yield(res) {
+				cancel()
+				for range ch { // let the pool drain and exit
+				}
+				return
+			}
+		}
+	}
+}
+
+// SweepTable collects a Sweep into one table sorted by ring size; it fails
+// on the first erroring size.
+func (s *Session) SweepTable(ctx context.Context, sizes []int) (*Table, error) {
+	runner := experiments.Runner{Workers: s.cfg.workers}
+	tbl, err := runner.SweepTable(ctx, sizes)
+	if err != nil {
+		return nil, err
+	}
+	return tableFromRaw(tbl), nil
+}
+
+// SweepResultsTable renders already-collected sweep results as one table,
+// sorted by ring size, without re-running anything.
+func SweepResultsTable(rows []SweepResult) *Table {
+	raw := make([]experiments.SweepRow, len(rows))
+	for i, r := range rows {
+		raw[i] = experiments.SweepRow{
+			R:             r.R,
+			States:        r.States,
+			Transitions:   r.Transitions,
+			BuildElapsed:  r.Build,
+			DecideElapsed: r.Decide,
+			Corresponds:   r.Corresponds,
+			MaxDegree:     r.MaxDegree,
+			Err:           r.Err,
+		}
+	}
+	return tableFromRaw(experiments.SweepRowsTable(raw))
+}
+
+// ExperimentIDs returns the identifiers of the standard experiment battery
+// (E1..E9, in DESIGN.md order).
+func ExperimentIDs() []string {
+	jobs := experiments.StandardJobs()
+	out := make([]string, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+// findExperimentJob resolves an experiment identifier, tolerating the
+// compound "E4/E5" identifier being addressed by either half (useful for
+// URL paths).
+func findExperimentJob(id string) (experiments.Job, bool) {
+	for _, j := range experiments.StandardJobs() {
+		if j.ID == id {
+			return j, true
+		}
+		for _, part := range strings.Split(j.ID, "/") {
+			if part == id {
+				return j, true
+			}
+		}
+	}
+	return experiments.Job{}, false
+}
+
+// Experiment runs (and caches) one experiment of the standard battery by
+// identifier and returns its table.  Concurrent requests for the same
+// identifier share one run.
+func (s *Session) Experiment(ctx context.Context, id string) (*Table, error) {
+	job, ok := findExperimentJob(id)
+	if !ok {
+		return nil, fmt.Errorf("podc: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+	return getOrCompute(ctx, s, s.tables, job.ID, func() (*Table, error) {
+		tbl, err := job.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return tableFromRaw(tbl), nil
+	})
+}
+
+// ExperimentResult is one streamed outcome of Experiments.
+type ExperimentResult struct {
+	ID      string        `json:"id"`
+	Table   *Table        `json:"table,omitempty"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Err     error         `json:"-"`
+}
+
+// Experiments runs the named experiments (all of them when ids is empty) on
+// a worker pool and yields each table the moment its experiment finishes,
+// in completion order.  Results are cached in the session; already-cached
+// experiments are yielded immediately.  Breaking out of the iteration
+// cancels the remaining work.
+func (s *Session) Experiments(ctx context.Context, ids []string) iter.Seq[ExperimentResult] {
+	return func(yield func(ExperimentResult) bool) {
+		var jobs []experiments.Job
+		if len(ids) == 0 {
+			jobs = experiments.StandardJobs()
+		} else {
+			for _, id := range ids {
+				job, ok := findExperimentJob(id)
+				if !ok {
+					if !yield(ExperimentResult{ID: id, Err: fmt.Errorf("podc: unknown experiment %q", id)}) {
+						return
+					}
+					continue
+				}
+				jobs = append(jobs, job)
+			}
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		runner := experiments.Runner{Workers: s.cfg.workers}
+		wrapped := make([]experiments.Job, len(jobs))
+		for i, job := range jobs {
+			job := job
+			wrapped[i] = experiments.Job{ID: job.ID, Run: func(ctx context.Context) (*experiments.Table, error) {
+				tbl, err := getOrCompute(ctx, s, s.tables, job.ID, func() (*Table, error) {
+					t, err := job.Run(ctx)
+					if err != nil {
+						return nil, err
+					}
+					return tableFromRaw(t), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				return tbl.raw(), nil
+			}}
+		}
+		ch := runner.Stream(ctx, wrapped)
+		for o := range ch {
+			res := ExperimentResult{ID: o.ID, Table: tableFromRaw(o.Table), Elapsed: o.Elapsed, Err: o.Err}
+			if !yield(res) {
+				cancel()
+				for range ch {
+				}
+				return
+			}
+		}
+	}
+}
+
+// CachedExperimentIDs returns the identifiers of experiments whose tables
+// the session has already computed, sorted.
+func (s *Session) CachedExperimentIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, f := range s.tables {
+		select {
+		case <-f.done:
+			if f.err == nil {
+				out = append(out, id)
+			}
+		default:
+		}
+	}
+	sort.Strings(out)
+	return out
+}

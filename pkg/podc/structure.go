@@ -1,0 +1,239 @@
+package podc
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/kripke"
+)
+
+// State identifies a state of a Structure.  States are dense integers in
+// [0, NumStates).
+type State int
+
+// NoState is returned by operations that fail to find a state.
+const NoState State = -1
+
+// Prop is an atomic proposition: either a plain proposition (Indexed false)
+// or an indexed proposition P_Index (Indexed true), as in the paper's AP and
+// IP × I vocabularies.
+type Prop struct {
+	Name    string
+	Index   int
+	Indexed bool
+}
+
+// P returns the plain proposition named name.
+func P(name string) Prop { return Prop{Name: name} }
+
+// PI returns the indexed proposition name[index].
+func PI(name string, index int) Prop { return Prop{Name: name, Index: index, Indexed: true} }
+
+// String renders the proposition as "name" or "name[index]".
+func (p Prop) String() string { return p.raw().String() }
+
+// ParseProp parses a proposition written as "name" or "name[index]".
+func ParseProp(s string) (Prop, error) {
+	kp, err := kripke.ParseProp(s)
+	if err != nil {
+		return Prop{}, err
+	}
+	return propFromRaw(kp), nil
+}
+
+func (p Prop) raw() kripke.Prop {
+	return kripke.Prop{Name: p.Name, Index: p.Index, Indexed: p.Indexed}
+}
+
+func propFromRaw(p kripke.Prop) Prop {
+	return Prop{Name: p.Name, Index: p.Index, Indexed: p.Indexed}
+}
+
+func propsToRaw(props []Prop) []kripke.Prop {
+	out := make([]kripke.Prop, len(props))
+	for i, p := range props {
+		out[i] = p.raw()
+	}
+	return out
+}
+
+// Structure is an immutable Kripke structure: a finite set of states, a
+// total transition relation, an initial state and a labelling with atomic
+// propositions.  Construct structures with a Builder, parse them with
+// ReadStructure/ParseStructure, or decode them with StructureFromJSON;
+// the zero value is not usable.  Structures are safe to share between
+// goroutines.
+type Structure struct {
+	m *kripke.Structure
+}
+
+// wrapStructure adapts an internal structure; it is the package-internal
+// seam every constructor funnels through.
+func wrapStructure(m *kripke.Structure) *Structure {
+	if m == nil {
+		return nil
+	}
+	return &Structure{m: m}
+}
+
+func (m *Structure) raw() *kripke.Structure { return m.m }
+
+// Name returns the structure's name (possibly empty).
+func (m *Structure) Name() string { return m.m.Name() }
+
+// NumStates returns the number of states.
+func (m *Structure) NumStates() int { return m.m.NumStates() }
+
+// NumTransitions returns the number of transitions.
+func (m *Structure) NumTransitions() int { return m.m.NumTransitions() }
+
+// Initial returns the initial state.
+func (m *Structure) Initial() State { return State(m.m.Initial()) }
+
+// Succ returns the successors of s in increasing order.
+func (m *Structure) Succ(s State) []State {
+	return statesFromRaw(m.m.Succ(kripke.State(s)))
+}
+
+// Label returns the propositions holding in s, sorted.
+func (m *Structure) Label(s State) []Prop {
+	lbl := m.m.Label(kripke.State(s))
+	out := make([]Prop, len(lbl))
+	for i, p := range lbl {
+		out[i] = propFromRaw(p)
+	}
+	return out
+}
+
+// Holds reports whether proposition p is in the label of s.
+func (m *Structure) Holds(s State, p Prop) bool {
+	return m.m.Holds(kripke.State(s), p.raw())
+}
+
+// IndexValues returns the index set I of the structure, sorted.
+func (m *Structure) IndexValues() []int { return m.m.IndexValues() }
+
+// IsTotal reports whether every state has at least one successor, as the
+// semantics of CTL* requires.
+func (m *Structure) IsTotal() bool { return m.m.IsTotal() }
+
+// Validate checks the structural invariants (initial state in range, total
+// transition relation, transitions in range) and returns nil if the
+// structure is well formed.
+func (m *Structure) Validate() error { return m.m.Validate() }
+
+// MakeTotal returns a copy in which every deadlock state received a self
+// loop (the standard totalisation).  The receiver is unchanged.
+func (m *Structure) MakeTotal() *Structure { return wrapStructure(m.m.MakeTotal()) }
+
+// Rename returns a copy of the structure under a new name.
+func (m *Structure) Rename(name string) *Structure { return wrapStructure(m.m.Rename(name)) }
+
+// Reduce returns the reduction M|i of Section 4: the same graph with every
+// indexed proposition erased except those of process i (renamed to index 0),
+// which is the view under which per-process correspondences are decided.
+func (m *Structure) Reduce(i int) *Structure { return wrapStructure(m.m.ReduceNormalized(i)) }
+
+// Summary returns a one-line human-readable size summary (states,
+// transitions, vocabulary).
+func (m *Structure) Summary() string { return m.m.ComputeStats().String() }
+
+// String returns the summary, so structures print usefully.
+func (m *Structure) String() string { return m.Summary() }
+
+// WriteText encodes the structure in the line-oriented text format
+// understood by ReadStructure and the command line tools.
+func (m *Structure) WriteText(w io.Writer) error { return kripke.EncodeText(w, m.m) }
+
+// MarshalJSON implements json.Marshaler.
+func (m *Structure) MarshalJSON() ([]byte, error) { return m.m.MarshalJSON() }
+
+// DOT returns a Graphviz rendering of the structure.
+func (m *Structure) DOT() string { return m.m.DOT() }
+
+// ReadStructure parses a structure from the text format:
+//
+//	structure NAME
+//	state ID [initial] [: prop prop ...]
+//	trans FROM TO [TO ...]
+//
+// The transition relation is not required to be total; call Validate or
+// MakeTotal as needed.
+func ReadStructure(r io.Reader) (*Structure, error) {
+	m, err := kripke.DecodeText(r)
+	if err != nil {
+		return nil, err
+	}
+	return wrapStructure(m), nil
+}
+
+// ParseStructure parses a structure from the text format given as a string.
+func ParseStructure(text string) (*Structure, error) {
+	return ReadStructure(strings.NewReader(text))
+}
+
+// StructureFromJSON decodes a structure previously produced by MarshalJSON.
+func StructureFromJSON(data []byte) (*Structure, error) {
+	m, err := kripke.UnmarshalStructureJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	return wrapStructure(m), nil
+}
+
+func statesFromRaw(ss []kripke.State) []State {
+	out := make([]State, len(ss))
+	for i, s := range ss {
+		out[i] = State(s)
+	}
+	return out
+}
+
+// Builder incrementally constructs a Structure.  Create one with
+// NewBuilder; builders are not safe for concurrent use.
+type Builder struct {
+	b *kripke.Builder
+}
+
+// NewBuilder returns a Builder for a structure with the given name.
+func NewBuilder(name string) *Builder { return &Builder{b: kripke.NewBuilder(name)} }
+
+// AddState adds a state labelled with props and returns its identifier.
+func (b *Builder) AddState(props ...Prop) State {
+	return State(b.b.AddState(propsToRaw(props)...))
+}
+
+// AddTransition adds the transition from -> to (duplicates are ignored).
+func (b *Builder) AddTransition(from, to State) error {
+	return b.b.AddTransition(kripke.State(from), kripke.State(to))
+}
+
+// SetInitial designates the initial state.
+func (b *Builder) SetInitial(s State) error { return b.b.SetInitial(kripke.State(s)) }
+
+// DeclareIndex records that index value i belongs to the index set even if
+// no state labels a proposition with it.
+func (b *Builder) DeclareIndex(i int) { b.b.DeclareIndex(i) }
+
+// NumStates returns the number of states added so far.
+func (b *Builder) NumStates() int { return b.b.NumStates() }
+
+// Build finalises the structure.  It fails if no state was added, the
+// initial state was never set, or the transition relation is not total; use
+// BuildPartial to allow deadlocks (e.g. before MakeTotal).
+func (b *Builder) Build() (*Structure, error) {
+	m, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return wrapStructure(m), nil
+}
+
+// BuildPartial finalises the structure without requiring totality.
+func (b *Builder) BuildPartial() (*Structure, error) {
+	m, err := b.b.BuildPartial()
+	if err != nil {
+		return nil, err
+	}
+	return wrapStructure(m), nil
+}

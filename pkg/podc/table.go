@@ -1,0 +1,40 @@
+package podc
+
+import (
+	"repro/internal/experiments"
+)
+
+// Table is one experiment's result in machine-readable form: an identifier,
+// a title, column names, stringified rows and free-form notes.  Tables are
+// what cmd/experiments prints, what Session.Experiment returns and what the
+// HTTP service serves as JSON.
+type Table struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+func tableFromRaw(t *experiments.Table) *Table {
+	if t == nil {
+		return nil
+	}
+	return &Table{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: append([]string(nil), t.Columns...),
+		Rows:    append([][]string(nil), t.Rows...),
+		Notes:   append([]string(nil), t.Notes...),
+	}
+}
+
+func (t *Table) raw() *experiments.Table {
+	return &experiments.Table{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string { return t.raw().Markdown() }
+
+// Text renders the table as aligned plain text.
+func (t *Table) Text() string { return t.raw().Text() }
