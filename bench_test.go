@@ -6,7 +6,7 @@ package repro_test
 //
 //	go test -bench=. -benchmem
 //
-// The experiment identifiers (E1..E9) match DESIGN.md.
+// The experiment identifiers (E1..E10) match DESIGN.md.
 
 import (
 	"context"
@@ -22,7 +22,7 @@ import (
 )
 
 // ---------------------------------------------------------------------------
-// E1..E9: one benchmark per experiment table.
+// E1..E10: one benchmark per experiment table.
 // ---------------------------------------------------------------------------
 
 func BenchmarkFig31Correspondence(b *testing.B) {
@@ -92,6 +92,14 @@ func BenchmarkMinimization(b *testing.B) {
 func BenchmarkNestingConjecture(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.NestingConjecture(context.Background(), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrossTopology(context.Background(), 5); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	experiments                  # run E1..E9 on the pool, print in order
+//	experiments                  # run E1..E10 on the pool, print in order
 //	experiments -markdown        # print the tables as markdown (EXPERIMENTS.md form)
 //	experiments -json            # print the tables as JSON (the HTTP service's shape)
 //	experiments -only E6         # run a single experiment by identifier
 //	experiments -stream          # print each table the moment it finishes
 //	experiments -workers 2       # cap the worker pool
-//	experiments -sweep 4,6,8,10  # decide the cutoff correspondence per size, streaming verdicts
+//	experiments -sweep 4,6,8,10  # decide each topology's cutoff correspondence per size
+//	experiments -sweep 6,8 -topologies star,torus   # sweep selected topologies only
+//
+// A sweep covers every built-in topology (ring, star, line, tree, torus)
+// by default; sizes a topology cannot instantiate (e.g. odd sizes of the
+// 2-row torus) are skipped for that topology with a note.
 package main
 
 import (
@@ -33,7 +38,8 @@ func main() {
 	only := flag.String("only", "", "run only the experiment with this identifier (e.g. E1, E6, E7)")
 	stream := flag.Bool("stream", false, "print each table as soon as its experiment finishes (completion order)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
-	sweep := flag.String("sweep", "", "comma separated ring sizes: decide the cutoff correspondence for each, streaming results")
+	sweep := flag.String("sweep", "", "comma separated sizes: decide each topology's cutoff correspondence for each size, streaming results")
+	topologies := flag.String("topologies", "all", `comma separated topologies to sweep ("all" or a subset of `+strings.Join(podc.TopologyNames(), ",")+`)`)
 	flag.Parse()
 	ctx := context.Background()
 
@@ -54,7 +60,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		os.Exit(runSweep(ctx, session, *sweep, *jsonOut, render))
+		os.Exit(runSweep(ctx, session, *sweep, *topologies, *jsonOut, render))
 	}
 
 	var ids []string
@@ -101,9 +107,10 @@ func main() {
 	}
 }
 
-// runSweep decides the cutoff correspondence for every requested ring size,
-// printing each verdict as it streams in and a summary table at the end.
-func runSweep(ctx context.Context, session *podc.Session, spec string, jsonOut bool, render func(*podc.Table)) int {
+// runSweep decides the cutoff correspondence of every selected topology
+// for every requested size, printing each verdict as it streams in and a
+// combined summary table at the end.
+func runSweep(ctx context.Context, session *podc.Session, spec, topoSpec string, jsonOut bool, render func(*podc.Table)) int {
 	var sizes []int
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -112,35 +119,73 @@ func runSweep(ctx context.Context, session *podc.Session, spec string, jsonOut b
 		}
 		r, err := strconv.Atoi(part)
 		if err != nil || r < 2 {
-			fmt.Fprintf(os.Stderr, "experiments: bad ring size %q\n", part)
+			fmt.Fprintf(os.Stderr, "experiments: bad size %q\n", part)
 			return 2
 		}
 		sizes = append(sizes, r)
 	}
 	if len(sizes) == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: -sweep needs at least one ring size")
+		fmt.Fprintln(os.Stderr, "experiments: -sweep needs at least one size")
 		return 2
+	}
+	var topos []podc.Topology
+	if strings.TrimSpace(topoSpec) == "all" || strings.TrimSpace(topoSpec) == "" {
+		topos = podc.Topologies()
+	} else {
+		for _, name := range strings.Split(topoSpec, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			topo, ok := podc.TopologyByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown topology %q (have %s)\n",
+					name, strings.Join(podc.TopologyNames(), ", "))
+				return 2
+			}
+			topos = append(topos, topo)
+		}
 	}
 	failed := false
 	enc := json.NewEncoder(os.Stdout)
 	var rows []podc.SweepResult
-	for row := range session.Sweep(ctx, sizes) {
-		if row.Err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: r=%d: %v\n", row.R, row.Err)
-			failed = true
-			continue
-		}
-		rows = append(rows, row)
-		if jsonOut {
-			if err := enc.Encode(row); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
+	for _, topo := range topos {
+		var valid []int
+		for _, n := range sizes {
+			if err := topo.ValidSize(n); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: skipping n=%d: %v\n", topo.Name(), n, err)
+				continue
 			}
+			valid = append(valid, n)
+		}
+		if len(valid) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s: no valid sizes in the sweep\n", topo.Name())
 			continue
 		}
-		fmt.Printf("r=%-4d states=%-8d corresponds=%-5v max degree=%-3d build=%-12s decide=%s\n",
-			row.R, row.States, row.Corresponds, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000))
+		for row := range session.SweepTopology(ctx, topo, valid) {
+			if row.Err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s n=%d: %v\n", row.Topology, row.R, row.Err)
+				failed = true
+				continue
+			}
+			rows = append(rows, row)
+			if jsonOut {
+				if err := enc.Encode(row); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+				continue
+			}
+			fmt.Printf("%-6s n=%-4d states=%-8d corresponds=%-5v max degree=%-3d build=%-12s decide=%s\n",
+				row.Topology, row.R, row.States, row.Corresponds, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000))
+		}
 	}
 	if failed {
+		return 2
+	}
+	if len(rows) == 0 {
+		// Every (topology, size) combination was skipped or empty: a sweep
+		// that decided nothing is a usage error, not a success.
+		fmt.Fprintln(os.Stderr, "experiments: the sweep decided no correspondences (all sizes invalid for the selected topologies)")
 		return 2
 	}
 	if !jsonOut {

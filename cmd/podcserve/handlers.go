@@ -139,13 +139,17 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 // correspondRequest is the body of POST /v1/correspond.
 type correspondRequest struct {
-	// Small and Large select the ring sizes to compare (Small defaults to
-	// the corrected cutoff, 3).
+	// Topology selects the family to compare within ("ring", "star",
+	// "line", "tree", "torus"); it defaults to the token ring.
+	Topology string `json:"topology,omitempty"`
+	// Small and Large select the instance sizes to compare (Small defaults
+	// to the topology's cutoff, e.g. 3 for the ring).
 	Small int `json:"small,omitempty"`
 	Large int `json:"large"`
 }
 
 type correspondResponse struct {
+	Topology     string           `json:"topology"`
 	Small        int              `json:"small"`
 	Large        int              `json:"large"`
 	Corresponds  bool             `json:"corresponds"`
@@ -153,6 +157,37 @@ type correspondResponse struct {
 	IndexPairs   int              `json:"index_pairs"`
 	FailingPairs []podc.IndexPair `json:"failing_pairs,omitempty"`
 	ElapsedMS    int64            `json:"elapsed_ms"`
+}
+
+// resolveFamilyPair validates the topology/small/large triple shared by
+// the correspond and transfer endpoints, applying the topology and cutoff
+// defaults.  It writes the error response itself and reports success.
+func resolveFamilyPair(w http.ResponseWriter, topology string, small, large *int) (podc.Topology, bool) {
+	if topology == "" {
+		topology = "ring"
+	}
+	topo, ok := podc.TopologyByName(topology)
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown topology %q (have %s)",
+			topology, strings.Join(podc.TopologyNames(), ", ")))
+		return podc.Topology{}, false
+	}
+	if *small == 0 {
+		*small = topo.CutoffSize()
+	}
+	if err := topo.ValidSize(*small); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("small size: %w", err))
+		return podc.Topology{}, false
+	}
+	if err := topo.ValidSize(*large); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("large size: %w", err))
+		return podc.Topology{}, false
+	}
+	if *large < *small {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need small <= large, got small=%d large=%d", *small, *large))
+		return podc.Topology{}, false
+	}
+	return topo, true
 }
 
 func (s *server) handleCorrespond(w http.ResponseWriter, r *http.Request) {
@@ -163,20 +198,18 @@ func (s *server) handleCorrespond(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if req.Small == 0 {
-		req.Small = podc.RingCutoffSize
-	}
-	if req.Small < 2 || req.Large < req.Small {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("need 2 <= small <= large, got small=%d large=%d", req.Small, req.Large))
+	topo, ok := resolveFamilyPair(w, req.Topology, &req.Small, &req.Large)
+	if !ok {
 		return
 	}
 	start := time.Now()
-	corr, err := s.session.RingCorrespondence(ctx, req.Small, req.Large)
+	corr, err := s.session.Correspondence(ctx, topo, req.Small, req.Large)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, correspondResponse{
+		Topology:     topo.Name(),
 		Small:        req.Small,
 		Large:        req.Large,
 		Corresponds:  corr.Corresponds(),
@@ -189,8 +222,10 @@ func (s *server) handleCorrespond(w http.ResponseWriter, r *http.Request) {
 
 // transferRequest is the body of POST /v1/transfer.
 type transferRequest struct {
-	Small int `json:"small,omitempty"`
-	Large int `json:"large"`
+	// Topology selects the family (defaults to the token ring).
+	Topology string `json:"topology,omitempty"`
+	Small    int    `json:"small,omitempty"`
+	Large    int    `json:"large"`
 }
 
 func (s *server) handleTransfer(w http.ResponseWriter, r *http.Request) {
@@ -201,14 +236,11 @@ func (s *server) handleTransfer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if req.Small == 0 {
-		req.Small = podc.RingCutoffSize
-	}
-	if req.Small < 2 || req.Large < req.Small {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("need 2 <= small <= large, got small=%d large=%d", req.Small, req.Large))
+	topo, ok := resolveFamilyPair(w, req.Topology, &req.Small, &req.Large)
+	if !ok {
 		return
 	}
-	cert, err := s.session.RingTransferCertificate(ctx, req.Small, req.Large)
+	cert, err := s.session.TransferCertificate(ctx, topo, req.Small, req.Large)
 	if err != nil {
 		// "do not correspond" is a client-side fact, not a server fault.
 		status := statusFor(err)

@@ -246,3 +246,65 @@ func TestExperimentEndpoint(t *testing.T) {
 		t.Errorf("unknown experiment: status %d (want 404)", resp2.StatusCode)
 	}
 }
+
+// TestCorrespondTopologies drives /v1/correspond across the generalised
+// families: each topology's cutoff instance corresponds to a larger one,
+// and the response echoes the topology it was decided for.
+func TestCorrespondTopologies(t *testing.T) {
+	ts := newTestServer(t)
+	for topo, large := range map[string]int{"star": 6, "line": 6, "tree": 6, "torus": 8} {
+		resp, body := postJSON(t, ts.URL+"/v1/correspond", correspondRequest{Topology: topo, Large: large})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", topo, resp.StatusCode, body)
+		}
+		var out correspondResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Topology != topo {
+			t.Errorf("%s: response names topology %q", topo, out.Topology)
+		}
+		if !out.Corresponds {
+			t.Errorf("%s: cutoff correspondence should hold: %s", topo, body)
+		}
+		if out.Small == 0 {
+			t.Errorf("%s: small must default to the topology's cutoff: %s", topo, body)
+		}
+	}
+}
+
+func TestCorrespondTopologyBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	for name, req := range map[string]correspondRequest{
+		"unknown topology": {Topology: "moebius", Large: 6},
+		"odd torus":        {Topology: "torus", Large: 7},
+		"small too small":  {Topology: "line", Small: 1, Large: 6},
+		"inverted sizes":   {Topology: "star", Small: 5, Large: 4},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/correspond", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestTransferTopology builds a transfer certificate for a non-ring family
+// and re-validates it against fresh instances of the same topology.
+func TestTransferTopology(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/transfer", transferRequest{Topology: "star", Large: 6})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	cert, err := podc.TransferCertificateFromJSON(body)
+	if err != nil {
+		t.Fatalf("decoding certificate: %v", err)
+	}
+	if cert.FamilyName() != "star" {
+		t.Errorf("certificate family %q, want star", cert.FamilyName())
+	}
+	star, _ := podc.TopologyByName("star")
+	if err := cert.Validate(star.Family()); err != nil {
+		t.Errorf("certificate fails re-validation: %v", err)
+	}
+}

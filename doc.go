@@ -1,11 +1,22 @@
 // Package repro is a reproduction of Browne, Clarke and Grumberg,
 // "Reasoning about Networks with Many Identical Finite State Processes"
-// (PODC 1986; Information and Computation 81, 1989).
+// (PODC 1986; Information and Computation 81, 1989), grown into a
+// topology-parametric parameterized-verification engine.
+//
+// The paper's method — model check one small instance of a family of
+// identical processes, establish a stuttering correspondence with larger
+// instances, transfer every closed restricted ICTL* property by Theorem 5 —
+// is implemented end to end and generalised beyond the paper's token ring:
+// internal/family factors the topology-specific ingredients (instance
+// generator, inductive index relation, cutoff heuristic, specifications)
+// into a Topology interface with ring, star, line, binary-tree and 2D-torus
+// implementations.
 //
 // The supported entry point is the public API in pkg/podc (see its package
-// documentation); the engines live under internal/ (see DESIGN.md for the
-// map).  The runnable examples are under examples/, the command line tools
-// and the HTTP verification service under cmd/, and the benchmark harness
-// that regenerates every figure and table of the paper in bench_test.go and
-// internal/experiments.
+// documentation); the engines live under internal/ — DESIGN.md is the
+// architecture map and PAPER_MAP.md traces every definition, theorem and
+// figure of the paper to the code implementing it.  The runnable examples
+// are under examples/, the command line tools and the HTTP verification
+// service under cmd/, and the benchmark harness that regenerates every
+// figure and table of the paper in bench_test.go and internal/experiments.
 package repro

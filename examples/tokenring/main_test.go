@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSmoke runs the example end to end (stdout routed to /dev/null),
+// so CI compiles *and* executes it; any internal error exits through
+// log.Fatal and fails the test binary.
+func TestMainSmoke(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	main()
+}

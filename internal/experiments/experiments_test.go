@@ -200,8 +200,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatalf("All: %v", err)
 	}
-	if len(tables) != 9 {
-		t.Fatalf("expected 9 tables, got %d", len(tables))
+	if len(tables) != 10 {
+		t.Fatalf("expected 10 tables, got %d", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tbl := range tables {
@@ -213,7 +213,7 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 			t.Errorf("table %s does not render", tbl.ID)
 		}
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4/E5", "E6", "E6b", "E7", "E8", "E9"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4/E5", "E6", "E6b", "E7", "E8", "E9", "E10"} {
 		if !ids[want] {
 			t.Errorf("missing table %s", want)
 		}

@@ -9,19 +9,19 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bisim"
-	"repro/internal/ring"
+	"repro/internal/family"
 )
 
 // This file is the parallel experiment runner: a worker pool that executes
 // experiment jobs concurrently and streams each result the moment it is
 // ready.  Two kinds of workloads run on it:
 //
-//   - the standard experiment battery E1..E9 (StandardJobs), where the jobs
-//     are heterogeneous tables, and
-//   - parameter sweeps (CorrespondenceSweep), where one job per ring size
-//     decides the cutoff correspondence M_cutoff ~ M_r and the interesting
-//     output is how cost grows with r.
+//   - the standard experiment battery E1..E10 (StandardJobs), where the
+//     jobs are heterogeneous tables, and
+//   - parameter sweeps (TopologySweep and its ring specialisation
+//     CorrespondenceSweep), where one job per size decides a topology's
+//     cutoff correspondence M_cutoff ~ M_n and the interesting output is
+//     how cost grows with n.
 //
 // Jobs are independent, so the pool preserves nothing but the job order of
 // collected results; streamed results arrive in completion order, which is
@@ -132,7 +132,7 @@ func (r Runner) Collect(ctx context.Context, jobs []Job) ([]*Table, error) {
 	return tables, nil
 }
 
-// StandardJobs returns the E1..E9 experiments with their default
+// StandardJobs returns the E1..E10 experiments with their default
 // parameters, in DESIGN.md order.
 func StandardJobs() []Job {
 	return []Job{
@@ -145,6 +145,7 @@ func StandardJobs() []Job {
 		{ID: "E7", Run: func(ctx context.Context) (*Table, error) { return StateExplosion(ctx, 9) }},
 		{ID: "E8", Run: func(ctx context.Context) (*Table, error) { return Minimization(ctx, 6) }},
 		{ID: "E9", Run: func(ctx context.Context) (*Table, error) { return NestingConjecture(ctx, 4) }},
+		{ID: "E10", Run: func(ctx context.Context) (*Table, error) { return CrossTopology(ctx, crossTopologyReach) }},
 	}
 }
 
@@ -154,11 +155,14 @@ func All(ctx context.Context) ([]*Table, error) {
 	return Runner{}.Collect(ctx, StandardJobs())
 }
 
-// SweepRow is one ring size's measurement from CorrespondenceSweep.
+// SweepRow is one size's measurement from a correspondence sweep.
 type SweepRow struct {
+	// Topology names the family the row belongs to ("ring" for the
+	// classic sweep).
+	Topology            string
 	R                   int
 	States, Transitions int
-	// BuildElapsed is the time to construct M_r explicitly; DecideElapsed
+	// BuildElapsed is the time to construct M_n explicitly; DecideElapsed
 	// the time the refinement engine needs for the cutoff correspondence.
 	BuildElapsed  time.Duration
 	DecideElapsed time.Duration
@@ -167,75 +171,14 @@ type SweepRow struct {
 	Err           error
 }
 
-// CorrespondenceSweep builds M_r and decides the cutoff correspondence
-// M_cutoff ~ M_r for every requested ring size, one job per size on the
-// worker pool, streaming each size's verdict as soon as it is decided (the
-// channel closes after the last).  This is the workload the parameterized
-// method makes cheap to extend: every verdict that comes back true extends
-// the range of ring sizes over which Theorem 5 transfers the Section 5
-// properties.
+// CorrespondenceSweep is the classic ring sweep: it decides the cutoff
+// correspondence M_cutoff ~ M_r for every requested ring size through the
+// topology-parametric engine (TopologySweep with the ring family).  This is
+// the workload the parameterized method makes cheap to extend: every
+// verdict that comes back true extends the range of ring sizes over which
+// Theorem 5 transfers the Section 5 properties.
 func (r Runner) CorrespondenceSweep(ctx context.Context, sizes []int) <-chan SweepRow {
-	out := make(chan SweepRow)
-	go func() {
-		defer close(out)
-		small, err := ring.Build(ring.CutoffSize)
-		if err != nil {
-			for _, size := range sizes {
-				select {
-				case out <- SweepRow{R: size, Err: err}:
-				case <-ctx.Done():
-					return
-				}
-			}
-			return
-		}
-		jobs := make([]Job, len(sizes))
-		rows := make([]SweepRow, len(sizes))
-		for k, size := range sizes {
-			k, size := k, size
-			jobs[k] = Job{ID: fmt.Sprintf("r=%d", size), Run: func(ctx context.Context) (*Table, error) {
-				row := SweepRow{R: size}
-				buildStart := time.Now()
-				inst, err := ring.Build(size)
-				row.BuildElapsed = time.Since(buildStart)
-				if err != nil {
-					row.Err = err
-					rows[k] = row
-					return nil, nil
-				}
-				row.States = inst.M.NumStates()
-				row.Transitions = inst.M.NumTransitions()
-				// The inner index-pair pool inherits the runner's cap, so
-				// -workers bounds the total concurrency of a sweep.
-				opts := ring.CorrespondOptions()
-				opts.Workers = r.Workers
-				decideStart := time.Now()
-				res, err := bisim.IndexedCompute(ctx, small.M, inst.M, ring.IndexRelationFor(small.R, size), opts)
-				row.DecideElapsed = time.Since(decideStart)
-				if err != nil {
-					row.Err = err
-					rows[k] = row
-					return nil, nil
-				}
-				row.Corresponds = res.Corresponds()
-				for _, pr := range res.Pairs {
-					if d := pr.Relation.MaxDegree(); d > row.MaxDegree {
-						row.MaxDegree = d
-					}
-				}
-				rows[k] = row
-				return nil, nil
-			}}
-		}
-		for o := range r.Stream(ctx, jobs) {
-			select {
-			case out <- rows[o.Index]:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return out
+	return r.TopologySweep(ctx, family.Ring(), sizes)
 }
 
 // SweepTable collects a CorrespondenceSweep into one table, sorted by ring
@@ -255,20 +198,29 @@ func (r Runner) SweepTable(ctx context.Context, sizes []int) (*Table, error) {
 }
 
 // SweepRowsTable renders already-collected sweep rows as one table, sorted
-// by ring size.
+// by topology and size.
 func SweepRowsTable(rows []SweepRow) *Table {
 	rows = append([]SweepRow(nil), rows...)
-	sort.Slice(rows, func(a, b int) bool { return rows[a].R < rows[b].R })
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Topology != rows[b].Topology {
+			return rows[a].Topology < rows[b].Topology
+		}
+		return rows[a].R < rows[b].R
+	})
 	t := &Table{
 		ID:      "SWEEP",
-		Title:   fmt.Sprintf("Cutoff correspondence M_%d ~ M_r across ring sizes (worker pool)", ring.CutoffSize),
-		Columns: []string{"r", "states", "transitions", "build", "decide", "corresponds", "max degree"},
+		Title:   "Cutoff correspondence M_cutoff ~ M_n across sizes (worker pool)",
+		Columns: []string{"topology", "n", "states", "transitions", "build", "decide", "corresponds", "max degree"},
 	}
 	for _, row := range rows {
-		t.AddRow(row.R, row.States, row.Transitions, row.BuildElapsed, row.DecideElapsed, row.Corresponds, row.MaxDegree)
+		topo := row.Topology
+		if topo == "" {
+			topo = "ring"
+		}
+		t.AddRow(topo, row.R, row.States, row.Transitions, row.BuildElapsed, row.DecideElapsed, row.Corresponds, row.MaxDegree)
 	}
 	t.Notes = append(t.Notes,
-		"decide times the partition-refinement engine on all index pairs of the cutoff IN relation",
-		"every 'yes' row extends the range of sizes over which Theorem 5 transfers the Section 5 properties")
+		"decide times the partition-refinement engine on all index pairs of the topology's cutoff IN relation",
+		"every 'yes' row extends the range of sizes over which Theorem 5 transfers the family's specifications")
 	return t
 }

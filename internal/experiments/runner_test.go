@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/family"
 	"repro/internal/ring"
 )
 
@@ -75,10 +76,10 @@ func TestRunnerStreamDeliversEveryOutcome(t *testing.T) {
 
 func TestStandardJobsMatchAll(t *testing.T) {
 	jobs := StandardJobs()
-	if len(jobs) != 9 {
-		t.Fatalf("StandardJobs has %d entries, want 9 (E1..E9)", len(jobs))
+	if len(jobs) != 10 {
+		t.Fatalf("StandardJobs has %d entries, want 10 (E1..E10)", len(jobs))
 	}
-	wantOrder := []string{"E1", "E2", "E3", "E4/E5", "E6", "E6b", "E7", "E8", "E9"}
+	wantOrder := []string{"E1", "E2", "E3", "E4/E5", "E6", "E6b", "E7", "E8", "E9", "E10"}
 	for i, j := range jobs {
 		if j.ID != wantOrder[i] {
 			t.Fatalf("job %d is %q, want %q (DESIGN.md order)", i, j.ID, wantOrder[i])
@@ -115,7 +116,80 @@ func TestCorrespondenceSweep(t *testing.T) {
 	if len(tbl.Rows) != len(sizes) {
 		t.Fatalf("sweep table has %d rows", len(tbl.Rows))
 	}
-	if tbl.Rows[0][0] != "4" || tbl.Rows[2][0] != "6" {
+	if tbl.Rows[0][0] != "ring" {
+		t.Errorf("sweep table rows must name their topology: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[0][1] != "4" || tbl.Rows[2][1] != "6" {
 		t.Errorf("sweep table not sorted by size: %v", tbl.Rows)
+	}
+}
+
+func TestTopologySweepAcrossFamilies(t *testing.T) {
+	for _, name := range []string{"star", "line", "tree", "torus"} {
+		topo, ok := family.ByName(name)
+		if !ok {
+			t.Fatalf("unknown topology %s", name)
+		}
+		sizes := family.ValidSizesIn(topo, topo.CutoffSize()+1, topo.CutoffSize()+4)
+		var rows []SweepRow
+		for row := range (Runner{Workers: 2}).TopologySweep(context.Background(), topo, sizes) {
+			if row.Err != nil {
+				t.Fatalf("%s sweep n=%d: %v", name, row.R, row.Err)
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) != len(sizes) {
+			t.Fatalf("%s: got %d rows, want %d", name, len(rows), len(sizes))
+		}
+		for _, row := range rows {
+			if row.Topology != name {
+				t.Errorf("row for %s carries topology %q", name, row.Topology)
+			}
+			if !row.Corresponds {
+				t.Errorf("%s: M_%d should correspond to the cutoff instance M_%d", name, row.R, topo.CutoffSize())
+			}
+			if row.States != 2*row.R {
+				t.Errorf("%s: n=%d has %d states, want 2n = %d", name, row.R, row.States, 2*row.R)
+			}
+		}
+	}
+}
+
+// TestTopologySweepSkipsInvalidSizes: a mixed size list keeps streaming —
+// invalid sizes come back as error rows, valid sizes still get verdicts.
+func TestTopologySweepSkipsInvalidSizes(t *testing.T) {
+	topo, _ := family.ByName("torus")
+	var okRows, errRows int
+	for row := range (Runner{Workers: 2}).TopologySweep(context.Background(), topo, []int{6, 7, 8}) {
+		if row.Err != nil {
+			if row.R != 7 {
+				t.Errorf("unexpected error row for n=%d: %v", row.R, row.Err)
+			}
+			errRows++
+			continue
+		}
+		okRows++
+	}
+	if okRows != 2 || errRows != 1 {
+		t.Errorf("got %d ok / %d err rows, want 2 / 1", okRows, errRows)
+	}
+}
+
+func TestCrossTopologyTable(t *testing.T) {
+	tbl, err := CrossTopology(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("CrossTopology: %v", err)
+	}
+	topos := map[string]bool{}
+	for _, row := range tbl.Rows {
+		topos[row[0]] = true
+		if row[4] != "yes" {
+			t.Errorf("cutoff correspondence refuted for %v", row)
+		}
+	}
+	for _, want := range []string{"ring", "star", "line", "tree", "torus"} {
+		if !topos[want] {
+			t.Errorf("E10 table misses topology %s", want)
+		}
 	}
 }

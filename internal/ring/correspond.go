@@ -59,6 +59,14 @@ import (
 // kept precisely because they make the negative half of this finding
 // executable at ring sizes (r = 200, r = 1000) whose state graphs could
 // never be constructed.
+//
+// The topology-generic halves of this file's original machinery — building
+// instances, the inductive IN relation, the correspondence options and the
+// decision entry point — have been generalised into internal/family, where
+// the ring is one Topology beside star, line, tree and torus; family.Ring
+// delegates back to the consolidated entry points below
+// (CorrespondOptions, IndexRelationFor, DecideCorrespondence), which remain
+// the ring-specific ground truth.
 
 // RelationVariant selects which Section 5 relation to build.
 type RelationVariant int

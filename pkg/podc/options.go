@@ -1,7 +1,10 @@
 package podc
 
 import (
+	"fmt"
+
 	"repro/internal/bisim"
+	"repro/internal/family"
 )
 
 // Option configures a Verifier, a correspondence computation, a Session or
@@ -23,6 +26,34 @@ type config struct {
 	smallSize            int
 	correspondenceSizes  []int
 	skipRestrictionCheck bool
+
+	// topology selects the family DecideCorrespondence, Session sweeps and
+	// correspondence caches operate on (nil means the token ring);
+	// topologyInvalid records that WithTopology was given the invalid zero
+	// Topology, which must surface as an error rather than a silent ring
+	// fallback.
+	topology        family.Topology
+	topologyInvalid bool
+}
+
+// topologyOrRing returns the configured topology, defaulting to the token
+// ring — the paper's own family — when none was given.
+func (c config) topologyOrRing() family.Topology {
+	if c.topology == nil {
+		return family.Ring()
+	}
+	return c.topology
+}
+
+// topologyOrError returns the configured topology (the ring by default),
+// rejecting a configuration that passed the invalid zero Topology —
+// typically a discarded TopologyByName failure; answering for the wrong
+// family would be a silent wrong result.
+func (c config) topologyOrError() (family.Topology, error) {
+	if c.topologyInvalid {
+		return nil, fmt.Errorf("podc: WithTopology: invalid topology (zero value — did a TopologyByName lookup fail?)")
+	}
+	return c.topologyOrRing(), nil
 }
 
 func buildConfig(opts []Option) config {
@@ -96,4 +127,18 @@ func WithCorrespondenceSizes(sizes ...int) Option {
 // outside the transferable fragment.
 func WithoutRestrictionCheck() Option {
 	return func(c *config) { c.skipRestrictionCheck = true }
+}
+
+// WithTopology selects the family an operation works on: DecideCorrespondence
+// decides that topology's canonical correspondence, and a Session configured
+// with it sweeps and caches that family by default.  Operations that are not
+// topology-parametric ignore the option.  The default is the token ring.
+// Passing the invalid zero Topology (e.g. a discarded TopologyByName
+// failure) makes the receiving operation fail rather than silently answer
+// for the ring.
+func WithTopology(t Topology) Option {
+	return func(c *config) {
+		c.topology = t.t
+		c.topologyInvalid = t.t == nil
+	}
 }

@@ -122,6 +122,8 @@ func RingCorrespondence(ctx context.Context, small, large *Ring) (*IndexedCorres
 
 // TokenRingFamily returns the token ring as a Family, with the corrected
 // cutoff index relation, ready for VerifyFamily and transfer certificates.
+// It is equivalent to RingTopology().Family(); the Topology route
+// additionally carries the cutoff heuristic and the Section 5 specs.
 func TokenRingFamily() Family {
 	return &FamilyFunc{
 		FamilyName: "token-ring",

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/family"
 )
 
 // Session is the long-lived, serving-side entry point of the library: it
@@ -32,10 +33,24 @@ type Session struct {
 	mu         sync.Mutex
 	rings      map[int]*flight[*Ring]
 	verifiers  map[int]*flight[*Verifier]
-	corr       map[[2]int]*flight[*IndexedCorrespondence]
-	certs      map[[2]int]*flight[*TransferCertificate]
+	instances  map[instanceKey]*flight[*Structure]
+	corr       map[pairKey]*flight[*IndexedCorrespondence]
+	certs      map[pairKey]*flight[*TransferCertificate]
 	tables     map[string]*flight[*Table]
 	structures map[string]*Structure
+}
+
+// instanceKey addresses one built family instance in the session cache.
+type instanceKey struct {
+	topology string
+	n        int
+}
+
+// pairKey addresses one decided correspondence (or transfer certificate)
+// in the session cache.
+type pairKey struct {
+	topology     string
+	small, large int
 }
 
 // NewSession returns an empty Session.  Options set the session-wide
@@ -46,8 +61,9 @@ func NewSession(opts ...Option) *Session {
 		cfg:        buildConfig(opts),
 		rings:      make(map[int]*flight[*Ring]),
 		verifiers:  make(map[int]*flight[*Verifier]),
-		corr:       make(map[[2]int]*flight[*IndexedCorrespondence]),
-		certs:      make(map[[2]int]*flight[*TransferCertificate]),
+		instances:  make(map[instanceKey]*flight[*Structure]),
+		corr:       make(map[pairKey]*flight[*IndexedCorrespondence]),
+		certs:      make(map[pairKey]*flight[*TransferCertificate]),
 		tables:     make(map[string]*flight[*Table]),
 		structures: make(map[string]*Structure),
 	}
@@ -133,47 +149,102 @@ func (s *Session) CheckRing(ctx context.Context, r int, f Formula) (bool, error)
 	return v.Check(ctx, f)
 }
 
-// RingCorrespondence decides (and caches) the canonical indexed
-// correspondence between M_small and M_large.  Concurrent requests for the
-// same pair share one computation.
-func (s *Session) RingCorrespondence(ctx context.Context, small, large int) (*IndexedCorrespondence, error) {
-	return getOrCompute(ctx, s, s.corr, [2]int{small, large}, func() (*IndexedCorrespondence, error) {
-		sm, err := s.Ring(ctx, small)
+// Instance returns the cached instance M_n of the topology, building it on
+// first use.  Ring instances share the richer Ring cache.
+func (s *Session) Instance(ctx context.Context, topo Topology, n int) (*Structure, error) {
+	if !topo.IsValid() {
+		return nil, fmt.Errorf("podc: Instance: invalid topology (zero value)")
+	}
+	return s.topologyInstance(ctx, topo.raw(), n)
+}
+
+func (s *Session) topologyInstance(ctx context.Context, t family.Topology, n int) (*Structure, error) {
+	if t.Name() == family.Ring().Name() {
+		rg, err := s.Ring(ctx, n)
 		if err != nil {
 			return nil, err
 		}
-		lg, err := s.Ring(ctx, large)
+		return rg.Structure(), nil
+	}
+	return getOrCompute(ctx, s, s.instances, instanceKey{topology: t.Name(), n: n}, func() (*Structure, error) {
+		m, err := t.Build(n)
 		if err != nil {
 			return nil, err
 		}
-		return RingCorrespondence(ctx, sm, lg)
+		return wrapStructure(m), nil
 	})
 }
 
-// sessionRingFamily is TokenRingFamily backed by the session's ring cache.
-func (s *Session) sessionRingFamily(ctx context.Context) Family {
-	base := TokenRingFamily().(*FamilyFunc)
+// Correspondence decides (and caches) the topology's canonical indexed
+// correspondence between M_small and M_large.  Concurrent requests for the
+// same (topology, small, large) triple share one computation.
+func (s *Session) Correspondence(ctx context.Context, topo Topology, small, large int) (*IndexedCorrespondence, error) {
+	if !topo.IsValid() {
+		return nil, fmt.Errorf("podc: Correspondence: invalid topology (zero value)")
+	}
+	if small > large {
+		return nil, fmt.Errorf("podc: Correspondence: need small <= large, got %d > %d", small, large)
+	}
+	t := topo.raw()
+	return getOrCompute(ctx, s, s.corr, pairKey{topology: t.Name(), small: small, large: large}, func() (*IndexedCorrespondence, error) {
+		sm, err := s.topologyInstance(ctx, t, small)
+		if err != nil {
+			return nil, err
+		}
+		lg, err := s.topologyInstance(ctx, t, large)
+		if err != nil {
+			return nil, err
+		}
+		res, err := family.DecideBuilt(ctx, t, sm.raw(), small, lg.raw(), large)
+		if err != nil {
+			return nil, err
+		}
+		return &IndexedCorrespondence{res: res, in: indexPairsFromRaw(t.IndexRelation(small, large))}, nil
+	})
+}
+
+// RingCorrespondence decides (and caches) the canonical indexed ring
+// correspondence between M_small and M_large.
+func (s *Session) RingCorrespondence(ctx context.Context, small, large int) (*IndexedCorrespondence, error) {
+	return s.Correspondence(ctx, RingTopology(), small, large)
+}
+
+// sessionFamily adapts a topology to the Family interface with instance
+// builds served from the session cache.
+func (s *Session) sessionFamily(ctx context.Context, t family.Topology) Family {
 	return &FamilyFunc{
-		FamilyName: base.FamilyName,
+		FamilyName: t.Name(),
 		BuildFunc: func(n int) (*Structure, error) {
-			rg, err := s.Ring(ctx, n)
-			if err != nil {
-				return nil, err
-			}
-			return rg.Structure(), nil
+			return s.topologyInstance(ctx, t, n)
 		},
-		Indices:   base.Indices,
-		AtomNames: base.AtomNames,
+		Indices: func(small, n int) []IndexPair {
+			return indexPairsFromRaw(t.IndexRelation(small, n))
+		},
+		AtomNames: t.Atoms(),
 	}
 }
 
-// RingTransferCertificate builds (and caches) the transfer certificate for
-// the pair (small, large): the serialisable per-index-pair relations that
-// justify transferring restricted ICTL* truth from M_small to M_large.
-func (s *Session) RingTransferCertificate(ctx context.Context, small, large int) (*TransferCertificate, error) {
-	return getOrCompute(ctx, s, s.certs, [2]int{small, large}, func() (*TransferCertificate, error) {
-		return BuildTransferCertificate(ctx, s.sessionRingFamily(ctx), small, large)
+// TransferCertificate builds (and caches) the topology's transfer
+// certificate for the pair (small, large): the serialisable per-index-pair
+// relations that justify transferring restricted ICTL* truth from M_small
+// to M_large.
+func (s *Session) TransferCertificate(ctx context.Context, topo Topology, small, large int) (*TransferCertificate, error) {
+	if !topo.IsValid() {
+		return nil, fmt.Errorf("podc: TransferCertificate: invalid topology (zero value)")
+	}
+	if small > large {
+		return nil, fmt.Errorf("podc: TransferCertificate: need small <= large, got %d > %d", small, large)
+	}
+	t := topo.raw()
+	return getOrCompute(ctx, s, s.certs, pairKey{topology: t.Name(), small: small, large: large}, func() (*TransferCertificate, error) {
+		return BuildTransferCertificate(ctx, s.sessionFamily(ctx, t), small, large)
 	})
+}
+
+// RingTransferCertificate builds (and caches) the ring transfer
+// certificate for the pair (small, large).
+func (s *Session) RingTransferCertificate(ctx context.Context, small, large int) (*TransferCertificate, error) {
+	return s.TransferCertificate(ctx, RingTopology(), small, large)
 }
 
 // AddStructure registers a named structure with the session, so later
@@ -201,9 +272,10 @@ func (s *Session) StructureByName(name string) (*Structure, bool) {
 	return m, ok
 }
 
-// SweepResult is one ring size's verdict from Sweep, streamed as soon as it
+// SweepResult is one size's verdict from a sweep, streamed as soon as it
 // is decided.
 type SweepResult struct {
+	Topology    string        `json:"topology"`
 	R           int           `json:"r"`
 	States      int           `json:"states"`
 	Transitions int           `json:"transitions"`
@@ -216,20 +288,47 @@ type SweepResult struct {
 	Err error `json:"-"`
 }
 
-// Sweep decides the cutoff correspondence M_cutoff ~ M_r for every
+// Sweep decides the cutoff correspondence M_cutoff ~ M_n of the session's
+// configured topology (WithTopology; the token ring by default) for every
 // requested size on a worker pool and yields each verdict the moment it is
 // decided, in completion order.  Breaking out of the iteration cancels the
 // remaining work; cancelling ctx ends the stream early.  Every verdict that
 // comes back true extends the range of sizes over which Theorem 5 transfers
-// the Section 5 properties.
+// the family's specifications.
 func (s *Session) Sweep(ctx context.Context, sizes []int) iter.Seq[SweepResult] {
+	t, err := s.cfg.topologyOrError()
+	if err != nil {
+		return errorSweep(err, sizes)
+	}
+	return s.SweepTopology(ctx, Topology{t: t}, sizes)
+}
+
+// errorSweep yields one failed SweepResult per requested size, so
+// configuration errors surface through the same stream the consumer is
+// already reading.
+func errorSweep(err error, sizes []int) iter.Seq[SweepResult] {
+	return func(yield func(SweepResult) bool) {
+		for _, n := range sizes {
+			if !yield(SweepResult{R: n, Err: err}) {
+				return
+			}
+		}
+	}
+}
+
+// SweepTopology is Sweep for an explicitly chosen topology.
+func (s *Session) SweepTopology(ctx context.Context, topo Topology, sizes []int) iter.Seq[SweepResult] {
+	if !topo.IsValid() {
+		return errorSweep(fmt.Errorf("podc: SweepTopology: invalid topology (zero value)"), sizes)
+	}
 	runner := experiments.Runner{Workers: s.cfg.workers}
 	return func(yield func(SweepResult) bool) {
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
-		ch := runner.CorrespondenceSweep(ctx, sizes)
+		ch := runner.TopologySweep(ctx, topo.raw(), sizes)
 		for row := range ch {
 			res := SweepResult{
+				Topology:    row.Topology,
 				R:           row.R,
 				States:      row.States,
 				Transitions: row.Transitions,
@@ -249,23 +348,29 @@ func (s *Session) Sweep(ctx context.Context, sizes []int) iter.Seq[SweepResult] 
 	}
 }
 
-// SweepTable collects a Sweep into one table sorted by ring size; it fails
-// on the first erroring size.
+// SweepTable collects a Sweep of the session's configured topology into
+// one table sorted by size; it fails on the first erroring size.
 func (s *Session) SweepTable(ctx context.Context, sizes []int) (*Table, error) {
-	runner := experiments.Runner{Workers: s.cfg.workers}
-	tbl, err := runner.SweepTable(ctx, sizes)
-	if err != nil {
+	var rows []SweepResult
+	for row := range s.Sweep(ctx, sizes) {
+		if row.Err != nil {
+			return nil, fmt.Errorf("podc: sweep %s n=%d: %w", row.Topology, row.R, row.Err)
+		}
+		rows = append(rows, row)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return tableFromRaw(tbl), nil
+	return SweepResultsTable(rows), nil
 }
 
 // SweepResultsTable renders already-collected sweep results as one table,
-// sorted by ring size, without re-running anything.
+// sorted by topology and size, without re-running anything.
 func SweepResultsTable(rows []SweepResult) *Table {
 	raw := make([]experiments.SweepRow, len(rows))
 	for i, r := range rows {
 		raw[i] = experiments.SweepRow{
+			Topology:      r.Topology,
 			R:             r.R,
 			States:        r.States,
 			Transitions:   r.Transitions,

@@ -223,8 +223,8 @@ func TestSessionExperimentCachedAndStreamed(t *testing.T) {
 	if okIDs != 2 || errIDs != 1 {
 		t.Errorf("streamed %d ok / %d err, want 2 / 1", okIDs, errIDs)
 	}
-	if got := len(podc.ExperimentIDs()); got != 9 {
-		t.Errorf("standard battery has %d entries, want 9", got)
+	if got := len(podc.ExperimentIDs()); got != 10 {
+		t.Errorf("standard battery has %d entries, want 10 (E1..E10)", got)
 	}
 }
 
