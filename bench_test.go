@@ -26,6 +26,7 @@ import (
 // ---------------------------------------------------------------------------
 
 func BenchmarkFig31Correspondence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig31(context.Background()); err != nil {
 			b.Fatal(err)
@@ -34,6 +35,7 @@ func BenchmarkFig31Correspondence(b *testing.B) {
 }
 
 func BenchmarkFig41Counting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig41(context.Background(), 4); err != nil {
 			b.Fatal(err)
@@ -42,6 +44,7 @@ func BenchmarkFig41Counting(b *testing.B) {
 }
 
 func BenchmarkFig51BuildM2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig51(context.Background()); err != nil {
 			b.Fatal(err)
@@ -50,6 +53,7 @@ func BenchmarkFig51BuildM2(b *testing.B) {
 }
 
 func BenchmarkRingInvariantsAndProperties(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RingChecks(context.Background(), 6); err != nil {
 			b.Fatal(err)
@@ -58,6 +62,7 @@ func BenchmarkRingInvariantsAndProperties(b *testing.B) {
 }
 
 func BenchmarkCorrespondenceCutoff(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.CorrespondenceCutoff(context.Background(), 6); err != nil {
 			b.Fatal(err)
@@ -66,6 +71,7 @@ func BenchmarkCorrespondenceCutoff(b *testing.B) {
 }
 
 func BenchmarkAppendixLocalCheck1000(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.LocalRefutation(context.Background(), []int{1000}, 10, 1); err != nil {
 			b.Fatal(err)
@@ -74,6 +80,7 @@ func BenchmarkAppendixLocalCheck1000(b *testing.B) {
 }
 
 func BenchmarkStateExplosionTable(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.StateExplosion(context.Background(), 8); err != nil {
 			b.Fatal(err)
@@ -82,6 +89,7 @@ func BenchmarkStateExplosionTable(b *testing.B) {
 }
 
 func BenchmarkMinimization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Minimization(context.Background(), 5); err != nil {
 			b.Fatal(err)
@@ -90,6 +98,7 @@ func BenchmarkMinimization(b *testing.B) {
 }
 
 func BenchmarkNestingConjecture(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.NestingConjecture(context.Background(), 4); err != nil {
 			b.Fatal(err)
@@ -98,6 +107,7 @@ func BenchmarkNestingConjecture(b *testing.B) {
 }
 
 func BenchmarkCrossTopology(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.CrossTopology(context.Background(), 5); err != nil {
 			b.Fatal(err)
@@ -119,6 +129,7 @@ func BenchmarkStateExplosionDirect(b *testing.B) {
 				b.Fatal(err)
 			}
 			props := ring.Properties()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				checker := mc.New(inst.M)
@@ -138,13 +149,20 @@ func BenchmarkStateExplosionDirect(b *testing.B) {
 }
 
 func BenchmarkStateExplosionBuild(b *testing.B) {
-	for _, r := range []int{4, 8, 12} {
+	for _, r := range []int{4, 8, 12, 14} {
 		r := r
 		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := ring.Build(r); err != nil {
+				inst, err := ring.Build(r)
+				if err != nil {
 					b.Fatal(err)
 				}
+				states = inst.M.NumStates()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(states)*float64(b.N)/secs, "states/sec")
 			}
 		})
 	}
@@ -183,6 +201,7 @@ func BenchmarkCorrespondenceM3ToMr(b *testing.B) {
 				b.Fatal(err)
 			}
 			in := ring.CutoffIndexRelation(ring.CutoffSize, r)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := bisim.IndexedCompute(context.Background(), small.M, large.M, in, opts)

@@ -13,11 +13,16 @@
 //	experiments -stream          # print each table the moment it finishes
 //	experiments -workers 2       # cap the worker pool
 //	experiments -sweep 4,6,8,10  # decide each topology's cutoff correspondence per size
+//	experiments -sweep default   # the default battery: sizes 4..14, ring r=14 and the 3×4 torus included
 //	experiments -sweep 6,8 -topologies star,torus   # sweep selected topologies only
+//	experiments -sweep default -cpuprofile sweep.prof   # profile the run
 //
-// A sweep covers every built-in topology (ring, star, line, tree, torus)
-// by default; sizes a topology cannot instantiate (e.g. odd sizes of the
-// 2-row torus) are skipped for that topology with a note.
+// A sweep covers every built-in topology (ring, star, line, tree, torus,
+// torus3) by default; sizes a topology cannot instantiate (e.g. odd sizes
+// of the 2-row torus) are skipped for that topology with a note.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of whatever
+// workload was selected, so perf work on the engines needs no code edits.
 package main
 
 import (
@@ -26,22 +31,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/pkg/podc"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code, so the profile-flushing defers execute
+// before the process exits.
+func run() int {
 	markdown := flag.Bool("markdown", false, "render the tables as markdown")
 	jsonOut := flag.Bool("json", false, "render the tables as JSON")
 	only := flag.String("only", "", "run only the experiment with this identifier (e.g. E1, E6, E7)")
 	stream := flag.Bool("stream", false, "print each table as soon as its experiment finishes (completion order)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
-	sweep := flag.String("sweep", "", "comma separated sizes: decide each topology's cutoff correspondence for each size, streaming results")
+	sweep := flag.String("sweep", "", `comma separated sizes ("default" for the standard battery): decide each topology's cutoff correspondence for each size, streaming results`)
 	topologies := flag.String("topologies", "all", `comma separated topologies to sweep ("all" or a subset of `+strings.Join(podc.TopologyNames(), ",")+`)`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile of the run to this file")
 	flag.Parse()
 	ctx := context.Background()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	session := podc.NewSession(podc.WithWorkers(*workers))
 	render := func(tbl *podc.Table) {
@@ -60,7 +103,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		os.Exit(runSweep(ctx, session, *sweep, *topologies, *jsonOut, render))
+		return runSweep(ctx, session, *sweep, *topologies, *jsonOut, render)
 	}
 
 	var ids []string
@@ -82,9 +125,9 @@ func main() {
 			render(o.Table)
 		}
 		if failed {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	// Collect in battery order: stream everything, then print sorted.
@@ -92,7 +135,7 @@ func main() {
 	for o := range session.Experiments(ctx, ids) {
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.ID, o.Err)
-			os.Exit(2)
+			return 2
 		}
 		tables[o.ID] = o.Table
 	}
@@ -105,6 +148,7 @@ func main() {
 			render(tbl)
 		}
 	}
+	return 0
 }
 
 // runSweep decides the cutoff correspondence of every selected topology
@@ -112,6 +156,10 @@ func main() {
 // combined summary table at the end.
 func runSweep(ctx context.Context, session *podc.Session, spec, topoSpec string, jsonOut bool, render func(*podc.Table)) int {
 	var sizes []int
+	if strings.TrimSpace(spec) == "default" {
+		sizes = podc.DefaultSweepSizes()
+		spec = ""
+	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {

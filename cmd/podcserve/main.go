@@ -18,6 +18,12 @@
 // Usage:
 //
 //	podcserve -addr :8080 -workers 4
+//	podcserve -addr :8080 -pprof localhost:6060   # also serve net/http/pprof
+//
+// The -pprof flag (off by default) starts a second listener serving the
+// standard /debug/pprof/ handlers on its own mux, so production profiles can
+// be captured without exposing the profiler on the service address or
+// editing code.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -35,7 +42,23 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool cap for correspondences and experiments (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request computation deadline (0 = none)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("podcserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("podcserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	session := podc.NewSession(podc.WithWorkers(*workers))
 	srv := &http.Server{

@@ -12,11 +12,19 @@
 // into a Topology interface with ring, star, line, binary-tree and 2D-torus
 // implementations.
 //
+// The engines are built to make the paper's anti-state-explosion point at
+// machine speed: Kripke structures intern label sets to dense integer ids
+// and store transitions in compressed-sparse-row arrays, the instance
+// builders explore packed uint64 state codes, and the partition-refinement
+// correspondence engine splits word-parallel bitset blocks (DESIGN.md §5
+// records the design and the before/after numbers).
+//
 // The supported entry point is the public API in pkg/podc (see its package
 // documentation); the engines live under internal/ — DESIGN.md is the
 // architecture map and PAPER_MAP.md traces every definition, theorem and
 // figure of the paper to the code implementing it.  The runnable examples
 // are under examples/, the command line tools and the HTTP verification
 // service under cmd/, and the benchmark harness that regenerates every
-// figure and table of the paper in bench_test.go and internal/experiments.
+// figure and table of the paper in bench_test.go and internal/experiments
+// (scripts/bench.sh records the battery as BENCH_pr4.json).
 package repro

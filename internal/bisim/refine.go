@@ -73,7 +73,30 @@ type refiner struct {
 	candScratch []int32
 	candStamp   []int32
 	stamp       int32
+
+	// Pool of block-sized BitSets: splits allocate candidate sets on every
+	// splitter pop and discard most of them (empty or improper splits), so
+	// recycling them keeps the refinement loop allocation free in steady
+	// state.  Sets from the pool have arbitrary contents; takers overwrite
+	// via CopyFrom.
+	freeSets    []kripke.BitSet
+	stackBuf    []int32       // closeBackwardWithin worklist
+	succScratch kripke.BitSet // enqueueSuccessors accumulator
 }
+
+// getSet returns a block-sized BitSet with arbitrary contents (callers
+// overwrite it with CopyFrom).
+func (r *refiner) getSet() kripke.BitSet {
+	if k := len(r.freeSets); k > 0 {
+		bs := r.freeSets[k-1]
+		r.freeSets = r.freeSets[:k-1]
+		return bs
+	}
+	return kripke.NewBitSet(r.cN)
+}
+
+// putSet returns a BitSet to the pool.
+func (r *refiner) putSet(bs kripke.BitSet) { r.freeSets = append(r.freeSets, bs) }
 
 type rblock struct {
 	set  kripke.BitSet // members, over contracted nodes
@@ -86,15 +109,13 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	n, n2 := m.NumStates(), m2.NumStates()
 	N := n + n2
 
-	// Canonical label of every union state, interned to dense ids.  The
-	// interning key combines the structure's cached label key (no string is
-	// built) with the truth bits of the "exactly one" atoms, which is
-	// exactly the comparison Options.labelOf performs.
+	// Canonical label of every union state, interned to dense ids.  The two
+	// structures intern labels independently (kripke.LabelID), so only the
+	// *distinct* label keys are string-hashed — once per structure — and the
+	// per-state key is a pair of small integers: the cross-structure key id
+	// and the truth bits of the "exactly one" atoms, which is exactly the
+	// comparison Options.labelOf performs.
 	oneProps := opts.normalizedOneProps()
-	type labelKey struct {
-		key  string
-		ones uint64
-	}
 	if len(oneProps) > 64 {
 		// The bit-packed key below would overflow; nothing realistic has
 		// this many indexed propositions, so just take the slow oracle.
@@ -109,9 +130,30 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		}
 		return bits
 	}
+	strIntern := make(map[string]int32)
+	internStr := func(key string) int32 {
+		id, ok := strIntern[key]
+		if !ok {
+			id = int32(len(strIntern))
+			strIntern[key] = id
+		}
+		return id
+	}
+	leftKeyID := make([]int32, m.NumLabels())
+	for id := range leftKeyID {
+		leftKeyID[id] = internStr(m.LabelKeyByID(kripke.LabelID(id)))
+	}
+	rightKeyID := make([]int32, m2.NumLabels())
+	for id := range rightKeyID {
+		rightKeyID[id] = internStr(m2.LabelKeyByID(kripke.LabelID(id)))
+	}
+	type classKey struct {
+		key  int32
+		ones uint64
+	}
 	labelID := make([]int32, N)
-	intern := make(map[labelKey]int32)
-	internKey := func(key labelKey) int32 {
+	intern := make(map[classKey]int32)
+	internKey := func(key classKey) int32 {
 		id, ok := intern[key]
 		if !ok {
 			id = int32(len(intern))
@@ -120,10 +162,10 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		return id
 	}
 	for s := 0; s < n; s++ {
-		labelID[s] = internKey(labelKey{m.LabelKey(kripke.State(s)), onesBits(m, kripke.State(s))})
+		labelID[s] = internKey(classKey{leftKeyID[m.LabelID(kripke.State(s))], onesBits(m, kripke.State(s))})
 	}
 	for t := 0; t < n2; t++ {
-		labelID[n+t] = internKey(labelKey{m2.LabelKey(kripke.State(t)), onesBits(m2, kripke.State(t))})
+		labelID[n+t] = internKey(classKey{rightKeyID[m2.LabelID(kripke.State(t))], onesBits(m2, kripke.State(t))})
 	}
 
 	// Union successor iteration (second structure offset by n), without
@@ -716,20 +758,24 @@ func (r *refiner) refineAgainst(sp int32) {
 // witnessing path lies in the positive half itself.
 func (r *refiner) splitReach(bid int32, dp kripke.BitSet) {
 	b := r.blocks[bid]
-	pos := b.set.Clone()
+	pos := r.getSet()
+	pos.CopyFrom(b.set)
 	pos.And(dp) // word-parallel: the block's direct exits into the splitter
 	if pos.Empty() {
+		r.putSet(pos)
 		return
 	}
 	r.closeBackwardWithin(bid, pos)
-	r.divide(bid, pos)
+	if !r.divide(bid, pos) {
+		r.putSet(pos)
+	}
 }
 
 // closeBackwardWithin extends set to every state of block bid that can reach
 // set via transitions staying inside the block.  The inside of a block is
 // acyclic (silent SCCs are contracted), so plain BFS terminates.
 func (r *refiner) closeBackwardWithin(bid int32, set kripke.BitSet) {
-	var stack []int32
+	stack := r.stackBuf[:0]
 	set.ForEach(func(v int) bool { stack = append(stack, int32(v)); return true })
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -741,22 +787,26 @@ func (r *refiner) closeBackwardWithin(bid int32, set kripke.BitSet) {
 			}
 		}
 	}
+	r.stackBuf = stack[:0]
 }
 
 // divide splits block bid into pos and the rest, re-enqueueing what the
-// split may have destabilised.  It reports whether a proper split happened.
+// split may have destabilised.  It reports whether a proper split happened
+// (and takes ownership of pos exactly when it does).
 func (r *refiner) divide(bid int32, pos kripke.BitSet) bool {
 	b := r.blocks[bid]
 	posCount := pos.Count()
 	if posCount == 0 || posCount == b.size {
 		return false
 	}
-	rest := b.set.Clone()
+	rest := r.getSet()
+	rest.CopyFrom(b.set)
 	rest.AndNot(pos) // word-parallel
 	nid := int32(len(r.blocks))
 	r.blocks = append(r.blocks, &rblock{set: rest, size: b.size - posCount})
 	r.inQueue = append(r.inQueue, false)
 	r.candStamp = append(r.candStamp, 0)
+	r.putSet(b.set)
 	b.set = pos
 	b.size = posCount
 	rest.ForEach(func(v int) bool { r.blockOf[v] = nid; return true })
@@ -773,7 +823,13 @@ func (r *refiner) divide(bid int32, pos kripke.BitSet) bool {
 // enqueueSuccessors enqueues the blocks reachable in one step from set.
 func (r *refiner) enqueueSuccessors(set kripke.BitSet) {
 	if r.mat != nil {
-		out := kripke.NewBitSet(r.cN)
+		if r.succScratch == nil {
+			r.succScratch = kripke.NewBitSet(r.cN)
+		}
+		out := r.succScratch
+		for i := range out {
+			out[i] = 0
+		}
 		set.ForEach(func(v int) bool { out.Or(r.mat.Succ(v)); return true })
 		out.ForEach(func(w int) bool { r.enqueue(r.blockOf[w]); return true })
 		return
@@ -795,14 +851,18 @@ func (r *refiner) divergencePass() bool {
 	changed := false
 	for bid := 0; bid < len(r.blocks); bid++ {
 		b := r.blocks[bid]
-		div := b.set.Clone()
+		div := r.getSet()
+		div.CopyFrom(b.set)
 		div.And(r.divMask) // word-parallel: the block's internal cycles
 		if div.Empty() {
+			r.putSet(div)
 			continue
 		}
 		r.closeBackwardWithin(int32(bid), div)
 		if r.divide(int32(bid), div) {
 			changed = true
+		} else {
+			r.putSet(div)
 		}
 	}
 	return changed

@@ -118,7 +118,7 @@ func DecideBuilt(ctx context.Context, t Topology, small *kripke.Structure, small
 // Topologies returns every built-in topology, ring first, in a stable
 // order.
 func Topologies() []Topology {
-	return []Topology{Ring(), Star(), Line(), Tree(), Torus()}
+	return []Topology{Ring(), Star(), Line(), Tree(), Torus(), Torus3()}
 }
 
 // Names returns the names of the built-in topologies, in Topologies order.

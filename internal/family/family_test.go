@@ -13,13 +13,13 @@ import (
 
 func TestTopologyRegistry(t *testing.T) {
 	topos := Topologies()
-	if len(topos) != 5 {
-		t.Fatalf("Topologies has %d entries, want 5", len(topos))
+	if len(topos) != 6 {
+		t.Fatalf("Topologies has %d entries, want 6", len(topos))
 	}
 	if topos[0].Name() != "ring" {
 		t.Fatalf("first topology is %q, want the ring (the paper's own family comes first)", topos[0].Name())
 	}
-	wantNames := []string{"ring", "star", "line", "tree", "torus"}
+	wantNames := []string{"ring", "star", "line", "tree", "torus", "torus3"}
 	for i, name := range Names() {
 		if name != wantNames[i] {
 			t.Fatalf("Names()[%d] = %q, want %q", i, name, wantNames[i])
@@ -127,6 +127,9 @@ func TestCutoffCorrespondences(t *testing.T) {
 		hi := small + 4
 		if topo.Name() == "torus" {
 			hi = small + 6 // only every other size is valid
+		}
+		if topo.Name() == "torus3" {
+			hi = small + 6 // only every third size is valid; reaches the 3×4 torus
 		}
 		for _, n := range ValidSizesIn(topo, small+1, hi) {
 			res, err := DecideCorrespondence(context.Background(), topo, small, n)
@@ -266,8 +269,8 @@ func inst3(t *testing.T) *ring.Instance {
 func TestBuildDeterminism(t *testing.T) {
 	for _, topo := range Topologies() {
 		n := topo.CutoffSize() + 1
-		if topo.ValidSize(n) != nil {
-			n = topo.CutoffSize() + 2
+		for topo.ValidSize(n) != nil {
+			n++
 		}
 		a, err := topo.Build(n)
 		if err != nil {

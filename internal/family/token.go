@@ -295,8 +295,8 @@ func Tree() Topology {
 	}
 }
 
-// TorusRows is the fixed number of rows of the torus family: an instance of
-// size n is a TorusRows × (n/TorusRows) torus, so sizes must be multiples
+// TorusRows is the number of rows of the default torus family: an instance
+// of size n is a TorusRows × (n/TorusRows) torus, so sizes must be multiples
 // of TorusRows.
 const TorusRows = 2
 
@@ -304,32 +304,53 @@ const TorusRows = 2
 // (row-major numbering, process 1 at the origin), the token wandering along
 // torus edges — horizontally with column wrap-around and vertically to the
 // other row.
-func Torus() Topology {
+func Torus() Topology { return torusWithRows(TorusRows, "torus") }
+
+// Torus3 returns the 3-row 2D-torus family: n processes on a 3 × (n/3)
+// torus.  Its sweep workhorse is n = 12, the 3×4 torus, where — unlike the
+// 2-row family — every process has four distinct neighbours.
+func Torus3() Topology { return torusWithRows(3, "torus3") }
+
+// torusWithRows builds a rows × (n/rows) torus family (row-major numbering,
+// process 1 at the origin).  The neighbourhood of a process is its left and
+// right column neighbours (with wrap-around) and the rows above and below
+// (coinciding for rows = 2); duplicates collapse so small grids keep clean
+// degree counts.
+func torusWithRows(rows int, name string) Topology {
 	return &tokenTopology{
-		name:    "torus",
-		minSize: 2 * TorusRows,
-		cutoff:  2 * TorusRows,
+		name:    name,
+		minSize: 2 * rows,
+		cutoff:  2 * rows,
 		validSize: func(n int) error {
-			if n%TorusRows != 0 {
-				return fmt.Errorf("torus topology needs a multiple of %d processes, got %d", TorusRows, n)
+			if n%rows != 0 {
+				return fmt.Errorf("%s topology needs a multiple of %d processes, got %d", name, rows, n)
 			}
 			return nil
 		},
 		neighbors: func(n int) func(i int) []int {
-			cols := n / TorusRows
+			cols := n / rows
 			return func(i int) []int {
 				row := (i - 1) / cols
 				col := (i - 1) % cols
 				at := func(r, c int) int { return r*cols + c + 1 }
-				left := at(row, (col+cols-1)%cols)
-				right := at(row, (col+1)%cols)
-				vertical := at((row+1)%TorusRows, col)
-				out := []int{left}
-				if right != left {
-					out = append(out, right)
+				candidates := []int{
+					at(row, (col+cols-1)%cols), // left
+					at(row, (col+1)%cols),      // right
+					at((row+1)%rows, col),      // below
+					at((row+rows-1)%rows, col), // above
 				}
-				if vertical != left && vertical != right {
-					out = append(out, vertical)
+				out := candidates[:0]
+				for _, c := range candidates {
+					dup := false
+					for _, o := range out {
+						if o == c {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						out = append(out, c)
+					}
 				}
 				return out
 			}

@@ -9,39 +9,106 @@ package graph
 import "fmt"
 
 // Graph is a directed graph over the vertices 0..N-1.
+//
+// Edges added with AddEdge are collected in one flat list and compiled into
+// compressed-sparse-row form on first read, so building a graph costs O(1)
+// amortised per edge with no per-vertex slice growth — the model checker
+// builds a restricted graph per EG subformula and a product graph per
+// tableau run, which made per-edge appends the dominant allocation source.
+// The CSR preserves insertion order within each vertex's successor list, so
+// algorithm outputs (component numbering, traversal order) are exactly those
+// of the old adjacency-list representation.
 type Graph struct {
-	adj [][]int
+	n     int
+	adj   [][]int // only for FromAdjacency graphs; nil otherwise
+	eFrom []int32 // pending edge list
+	eTo   []int32
+	off   []int32 // CSR, built by ensure()
+	dst   []int
+	dirty bool
 }
 
 // New returns an empty graph with n vertices.
 func New(n int) *Graph {
-	return &Graph{adj: make([][]int, n)}
+	return &Graph{n: n}
 }
 
 // FromAdjacency wraps an existing adjacency list without copying it.  The
 // caller must not modify adj afterwards.
-func FromAdjacency(adj [][]int) *Graph { return &Graph{adj: adj} }
+func FromAdjacency(adj [][]int) *Graph { return &Graph{n: len(adj), adj: adj} }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // AddEdge adds the directed edge u -> v.  It panics if either endpoint is
 // out of range, which always indicates a programming error in the caller.
 func (g *Graph) AddEdge(u, v int) {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
-		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", u, v, len(g.adj)))
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", u, v, g.n))
 	}
-	g.adj[u] = append(g.adj[u], v)
+	if g.adj != nil {
+		g.adj[u] = append(g.adj[u], v)
+		return
+	}
+	if g.off != nil && len(g.eFrom) == 0 && len(g.dst) > 0 {
+		// The CSR was built directly, without a pending list (Transpose
+		// does this).  Materialise the pending edges before mutating, so
+		// the rebuild triggered by this AddEdge keeps them.
+		for w := 0; w < g.n; w++ {
+			for _, x := range g.dst[g.off[w]:g.off[w+1]] {
+				g.eFrom = append(g.eFrom, int32(w))
+				g.eTo = append(g.eTo, int32(x))
+			}
+		}
+	}
+	g.eFrom = append(g.eFrom, int32(u))
+	g.eTo = append(g.eTo, int32(v))
+	g.dirty = true
 }
 
-// Succ returns the successors of u.  The returned slice must not be
-// modified.
-func (g *Graph) Succ(u int) []int { return g.adj[u] }
+// buildCSR compiles an edge list into CSR form with a stable counting fill,
+// so each vertex's successors keep the edge list's order.
+func buildCSR(n int, from, to []int32) (off []int32, dst []int) {
+	off = make([]int32, n+1)
+	for _, u := range from {
+		off[u+1]++
+	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	dst = make([]int, len(from))
+	next := make([]int32, n)
+	copy(next, off[:n])
+	for i, u := range from {
+		dst[next[u]] = int(to[i])
+		next[u]++
+	}
+	return off, dst
+}
+
+// ensure compiles the pending edge list into CSR form.
+func (g *Graph) ensure() {
+	if !g.dirty && g.off != nil {
+		return
+	}
+	g.off, g.dst = buildCSR(g.n, g.eFrom, g.eTo)
+	g.dirty = false
+}
+
+// Succ returns the successors of u in insertion order.  The returned slice
+// must not be modified.
+func (g *Graph) Succ(u int) []int {
+	if g.adj != nil {
+		return g.adj[u]
+	}
+	g.ensure()
+	return g.dst[g.off[u]:g.off[u+1]]
+}
 
 // Reachable returns the set of vertices reachable from the given sources
 // (including the sources themselves) as a boolean slice indexed by vertex.
 func (g *Graph) Reachable(sources ...int) []bool {
-	seen := make([]bool, len(g.adj))
+	seen := make([]bool, g.n)
 	stack := make([]int, 0, len(sources))
 	for _, s := range sources {
 		if s >= 0 && s < len(seen) && !seen[s] {
@@ -52,7 +119,7 @@ func (g *Graph) Reachable(sources ...int) []bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Succ(u) {
 			if !seen[v] {
 				seen[v] = true
 				stack = append(stack, v)
@@ -72,12 +139,19 @@ func (g *Graph) BackwardReachable(targets ...int) []bool {
 
 // Transpose returns the graph with all edges reversed.
 func (g *Graph) Transpose() *Graph {
-	t := New(len(g.adj))
-	for u, vs := range g.adj {
-		for _, v := range vs {
-			t.adj[v] = append(t.adj[v], u)
+	t := New(g.n)
+	if g.adj != nil {
+		for u, vs := range g.adj {
+			for _, v := range vs {
+				t.AddEdge(v, u)
+			}
 		}
+		return t
 	}
+	// Build the transposed CSR directly with one counting pass — no
+	// per-vertex growth, no pending list (AddEdge reconstructs one if the
+	// transposed graph is ever mutated).
+	t.off, t.dst = buildCSR(g.n, g.eTo, g.eFrom)
 	return t
 }
 
@@ -115,7 +189,7 @@ func (r *SCCResult) IsTrivial(g *Graph, c int) bool {
 // version of Tarjan's algorithm (iterative so that structures with hundreds
 // of thousands of states do not overflow the goroutine stack).
 func (g *Graph) SCC() *SCCResult {
-	n := len(g.adj)
+	n := g.n
 	const unvisited = -1
 	index := make([]int, n)
 	low := make([]int, n)
@@ -149,8 +223,9 @@ func (g *Graph) SCC() *SCCResult {
 				onStack[v] = true
 			}
 			advanced := false
-			for fr.child < len(g.adj[v]) {
-				w := g.adj[v][fr.child]
+			succ := g.Succ(v)
+			for fr.child < len(succ) {
+				w := succ[fr.child]
 				fr.child++
 				if index[w] == unvisited {
 					callStack = append(callStack, frame{v: w})
@@ -198,7 +273,7 @@ func (g *Graph) SCC() *SCCResult {
 // which contracts components on every comparison — avoid the O(#components)
 // slice allocations of SCC.
 func (g *Graph) SCCComp() (comp []int, numComponents int) {
-	n := len(g.adj)
+	n := g.n
 	const unvisited = -1
 	index := make([]int, n)
 	low := make([]int, n)
@@ -231,8 +306,9 @@ func (g *Graph) SCCComp() (comp []int, numComponents int) {
 				onStack[v] = true
 			}
 			advanced := false
-			for fr.child < len(g.adj[v]) {
-				w := g.adj[v][fr.child]
+			succ := g.Succ(v)
+			for fr.child < len(succ) {
+				w := succ[fr.child]
 				fr.child++
 				if index[w] == unvisited {
 					callStack = append(callStack, frame{v: w})
@@ -279,9 +355,9 @@ func (g *Graph) Condensation(scc *SCCResult) *Graph {
 	}
 	dag := New(scc.NumComponents())
 	seen := map[int64]bool{}
-	for u, vs := range g.adj {
+	for u := 0; u < g.n; u++ {
 		cu := scc.Comp[u]
-		for _, v := range vs {
+		for _, v := range g.Succ(u) {
 			cv := scc.Comp[v]
 			if cu == cv {
 				continue

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -194,5 +195,27 @@ func TestFromAdjacency(t *testing.T) {
 	sort.Ints(succ)
 	if len(succ) != 1 || succ[0] != 1 {
 		t.Errorf("Succ(0) = %v", succ)
+	}
+}
+
+// TestTransposeThenAddEdge: a graph produced by Transpose has its CSR built
+// directly; mutating it afterwards must keep every transposed edge.
+func TestTransposeThenAddEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	rev := g.Transpose()
+	if got := fmt.Sprint(rev.Succ(1)); got != "[0]" {
+		t.Fatalf("transposed Succ(1) = %s, want [0]", got)
+	}
+	rev.AddEdge(0, 2)
+	if got := fmt.Sprint(rev.Succ(1)); got != "[0]" {
+		t.Errorf("after AddEdge, transposed Succ(1) = %s, want [0] (transposed edges lost)", got)
+	}
+	if got := fmt.Sprint(rev.Succ(2)); got != "[1]" {
+		t.Errorf("after AddEdge, transposed Succ(2) = %s, want [1] (transposed edges lost)", got)
+	}
+	if got := fmt.Sprint(rev.Succ(0)); got != "[2]" {
+		t.Errorf("after AddEdge, Succ(0) = %s, want [2]", got)
 	}
 }

@@ -161,8 +161,8 @@ func (t *TransitionMatrix) Pred(u int) BitSet { return t.pred[u] }
 // repeatedly should keep the result.
 func (m *Structure) TransitionMatrix() *TransitionMatrix {
 	t := NewTransitionMatrix(m.NumStates())
-	for s, succs := range m.succ {
-		for _, v := range succs {
+	for s := 0; s < m.NumStates(); s++ {
+		for _, v := range m.Succ(State(s)) {
 			t.Add(s, int(v))
 		}
 	}
@@ -176,13 +176,13 @@ func (m *Structure) TransitionMatrix() *TransitionMatrix {
 func UnionTransitionMatrix(m, m2 *Structure) *TransitionMatrix {
 	n := m.NumStates()
 	t := NewTransitionMatrix(n + m2.NumStates())
-	for s, succs := range m.succ {
-		for _, v := range succs {
+	for s := 0; s < n; s++ {
+		for _, v := range m.Succ(State(s)) {
 			t.Add(s, int(v))
 		}
 	}
-	for s, succs := range m2.succ {
-		for _, v := range succs {
+	for s := 0; s < m2.NumStates(); s++ {
+		for _, v := range m2.Succ(State(s)) {
 			t.Add(n+s, n+int(v))
 		}
 	}

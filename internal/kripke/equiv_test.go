@@ -1,0 +1,283 @@
+package kripke
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file pins the observable behaviour of the interned, CSR-packed
+// representation to a straightforward reference model: randomized builders
+// construct a structure twice — once through the real Builder and once as
+// plain maps and slices — and every accessor the engines rely on (Succ,
+// Pred, Label, LabelKey, Holds, ExactlyOne, OneProps, HasTransition) must
+// agree state for state.  The text encoding must round-trip byte for byte.
+// Any future change to the packed representation that alters observable
+// semantics fails here rather than deep inside bisim or mc.
+
+// refStructure is the naive reference representation: exactly what the
+// pre-CSR implementation stored.
+type refStructure struct {
+	succ   map[int][]int
+	pred   map[int][]int
+	labels [][]Prop // normalized per state
+	ones   [][]string
+}
+
+// refLabelKey reproduces the canonical key contract.
+func refLabelKey(lbl []Prop) string { return string(appendLabelKey(nil, lbl)) }
+
+// refNormalize is an independent normalization: sort+dedup via strings.
+func refNormalize(props []Prop) []Prop {
+	cp := append([]Prop(nil), props...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Less(cp[j]) })
+	out := cp[:0]
+	for i, p := range cp {
+		if i == 0 || p != cp[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// refOnes recomputes the "exactly one" names with a map, the way the old
+// implementation did.
+func refOnes(lbl []Prop) []string {
+	counts := map[string]int{}
+	for _, p := range lbl {
+		if p.Indexed {
+			counts[p.Name]++
+		}
+	}
+	var out []string
+	for name, c := range counts {
+		if c == 1 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randomizedBuild generates a pseudo-random structure from the seed through
+// the real Builder while recording the reference model.
+func randomizedBuild(seed uint64, nStates int) (*Structure, *refStructure, error) {
+	rng := seed
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	names := []string{"a", "b", "c", "d"}
+	b := NewBuilder(fmt.Sprintf("rand-%d", seed))
+	ref := &refStructure{succ: map[int][]int{}, pred: map[int][]int{}}
+	for s := 0; s < nStates; s++ {
+		var props []Prop
+		for k := 0; k < next(6); k++ {
+			if next(2) == 0 {
+				props = append(props, P(names[next(len(names))]))
+			} else {
+				props = append(props, PI(names[next(len(names))], 1+next(3)))
+			}
+		}
+		if next(4) == 0 {
+			b.AddStateNormalized(refNormalize(props))
+		} else {
+			b.AddState(props...)
+		}
+		lbl := refNormalize(props)
+		ref.labels = append(ref.labels, lbl)
+		ref.ones = append(ref.ones, refOnes(lbl))
+	}
+	seen := map[[2]int]bool{}
+	for e := 0; e < nStates*3; e++ {
+		from, to := next(nStates), next(nStates)
+		if err := b.AddTransition(State(from), State(to)); err != nil {
+			return nil, nil, err
+		}
+		if !seen[[2]int{from, to}] {
+			seen[[2]int{from, to}] = true
+			ref.succ[from] = append(ref.succ[from], to)
+			ref.pred[to] = append(ref.pred[to], from)
+		}
+	}
+	// A SetLabel override exercises relabelling of an existing state.
+	if nStates > 2 {
+		s := next(nStates)
+		override := []Prop{P("z"), PI("a", 2)}
+		if err := b.SetLabel(State(s), override...); err != nil {
+			return nil, nil, err
+		}
+		lbl := refNormalize(override)
+		ref.labels[s] = lbl
+		ref.ones[s] = refOnes(lbl)
+	}
+	if err := b.SetInitial(0); err != nil {
+		return nil, nil, err
+	}
+	m, err := b.BuildPartial()
+	return m, ref, err
+}
+
+func TestRepresentationMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		nStates := 3 + int(seed%13)
+		m, ref, err := randomizedBuild(seed, nStates)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.NumStates() != nStates {
+			t.Fatalf("seed %d: NumStates = %d, want %d", seed, m.NumStates(), nStates)
+		}
+		for s := 0; s < nStates; s++ {
+			st := State(s)
+			// Succ/Pred: same sets, sorted ascending.
+			wantSucc := append([]int(nil), ref.succ[s]...)
+			sort.Ints(wantSucc)
+			if got := fmt.Sprint(m.Succ(st)); got != fmt.Sprint(wantSucc) {
+				t.Errorf("seed %d state %d: Succ = %v, want %v", seed, s, got, wantSucc)
+			}
+			wantPred := append([]int(nil), ref.pred[s]...)
+			sort.Ints(wantPred)
+			if got := fmt.Sprint(m.Pred(st)); got != fmt.Sprint(wantPred) {
+				t.Errorf("seed %d state %d: Pred = %v, want %v", seed, s, got, wantPred)
+			}
+			// Labels, keys, ones.
+			if got, want := fmt.Sprint(m.Label(st)), fmt.Sprint(ref.labels[s]); got != want {
+				t.Errorf("seed %d state %d: Label = %v, want %v", seed, s, got, want)
+			}
+			if got, want := m.LabelKey(st), refLabelKey(ref.labels[s]); got != want {
+				t.Errorf("seed %d state %d: LabelKey = %q, want %q", seed, s, got, want)
+			}
+			if got, want := fmt.Sprint(m.OneProps(st)), fmt.Sprint(ref.ones[s]); got != want {
+				t.Errorf("seed %d state %d: OneProps = %v, want %v", seed, s, got, want)
+			}
+			for _, name := range []string{"a", "b", "c", "d", "z"} {
+				want := false
+				for _, o := range ref.ones[s] {
+					if o == name {
+						want = true
+					}
+				}
+				if got := m.ExactlyOne(st, name); got != want {
+					t.Errorf("seed %d state %d: ExactlyOne(%q) = %v, want %v", seed, s, name, got, want)
+				}
+			}
+			// Holds over every proposition that occurs anywhere.
+			for _, lbl := range ref.labels {
+				for _, p := range lbl {
+					want := false
+					for _, q := range ref.labels[s] {
+						if q == p {
+							want = true
+						}
+					}
+					if got := m.Holds(st, p); got != want {
+						t.Errorf("seed %d state %d: Holds(%v) = %v, want %v", seed, s, p, got, want)
+					}
+				}
+			}
+			// HasTransition against the reference edge set.
+			for t2 := 0; t2 < nStates; t2++ {
+				want := false
+				for _, v := range ref.succ[s] {
+					if v == t2 {
+						want = true
+					}
+				}
+				if got := m.HasTransition(st, State(t2)); got != want {
+					t.Errorf("seed %d: HasTransition(%d, %d) = %v, want %v", seed, s, t2, got, want)
+				}
+			}
+		}
+		// Interning contract: equal LabelIDs iff equal label keys.
+		for s := 0; s < nStates; s++ {
+			for u := 0; u < nStates; u++ {
+				sameID := m.LabelID(State(s)) == m.LabelID(State(u))
+				sameKey := m.LabelKey(State(s)) == m.LabelKey(State(u))
+				if sameID != sameKey {
+					t.Errorf("seed %d: LabelID agreement (%d,%d) = %v but key agreement = %v", seed, s, u, sameID, sameKey)
+				}
+			}
+		}
+		// StatesWith agrees with Holds.
+		for _, lbl := range ref.labels {
+			for _, p := range lbl {
+				bs := m.StatesWith(p)
+				for s := 0; s < nStates; s++ {
+					if bs.Get(s) != m.Holds(State(s), p) {
+						t.Errorf("seed %d: StatesWith(%v) disagrees with Holds at state %d", seed, p, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTextRoundTripByteIdentical: encoding a randomized structure, decoding
+// it, and encoding it again must produce identical bytes — the CSR and
+// interning must be invisible to the interchange formats.
+func TestTextRoundTripByteIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		m, _, err := randomizedBuild(seed, 4+int(seed%9))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var first bytes.Buffer
+		if err := EncodeText(&first, m); err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		decoded, err := DecodeText(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		var second bytes.Buffer
+		if err := EncodeText(&second, decoded); err != nil {
+			t.Fatalf("seed %d: re-encode: %v", seed, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("seed %d: text round-trip is not byte-identical:\n--- first\n%s\n--- second\n%s",
+				seed, first.String(), second.String())
+		}
+	}
+}
+
+// TestReductionMatchesPerStateReference: ReduceNormalized now reduces per
+// distinct LabelID; the result must equal the naive per-state reduction.
+func TestReductionMatchesPerStateReference(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		m, ref, err := randomizedBuild(seed, 5+int(seed%7))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for keep := 1; keep <= 3; keep++ {
+			red := m.ReduceNormalized(keep)
+			for s := 0; s < m.NumStates(); s++ {
+				var want []Prop
+				for _, p := range ref.labels[s] {
+					switch {
+					case !p.Indexed:
+						want = append(want, p)
+					case p.Index == keep:
+						want = append(want, PI(p.Name, 0))
+					}
+				}
+				want = refNormalize(want)
+				if got := fmt.Sprint(red.Label(State(s))); got != fmt.Sprint(want) {
+					t.Errorf("seed %d keep %d state %d: reduced label = %v, want %v", seed, keep, s, got, want)
+				}
+				if got, wantKey := red.LabelKey(State(s)), refLabelKey(want); got != wantKey {
+					t.Errorf("seed %d keep %d state %d: reduced key = %q, want %q", seed, keep, s, got, wantKey)
+				}
+				// The relation and the ones sets are shared verbatim.
+				if fmt.Sprint(red.Succ(State(s))) != fmt.Sprint(m.Succ(State(s))) {
+					t.Errorf("seed %d keep %d state %d: reduction changed Succ", seed, keep, s)
+				}
+				if fmt.Sprint(red.OneProps(State(s))) != fmt.Sprint(m.OneProps(State(s))) {
+					t.Errorf("seed %d keep %d state %d: reduction changed OneProps", seed, keep, s)
+				}
+			}
+		}
+	}
+}

@@ -15,16 +15,33 @@
 // mutual-exclusion transition graph a Kripke structure), the reduction M|i
 // that erases all indexed propositions except those of process i, and
 // re-indexing used when comparing reductions of structures with different
-// index sets.  For the partition-refinement correspondence engine the
-// transition relation is also available in bitset form (BitSet,
-// TransitionMatrix in bitset.go), which makes block splits word-parallel.
+// index sets.
+//
+// The representation is engineered for the hot paths of the correspondence
+// and model-checking engines:
+//
+//   - label sets are interned: every distinct label set gets a dense LabelID,
+//     so label equality is an integer compare and the canonical LabelKey is a
+//     table lookup instead of a string build;
+//   - the transition relation is stored in compressed-sparse-row form (one
+//     flat edge array plus offsets per direction), so Succ/Pred return
+//     subslices of shared backing with no per-state slice headers to chase;
+//   - the states satisfying each atomic proposition are precomputed as
+//     BitSets (StatesWith), so the model checker seeds atomic labellings
+//     without scanning every state's label.
+//
+// For the partition-refinement correspondence engine the transition relation
+// is also available in bitset form (BitSet, TransitionMatrix in bitset.go),
+// which makes block splits word-parallel.
 package kripke
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // State identifies a state of a Structure.  States are dense integers in
@@ -33,6 +50,13 @@ type State int
 
 // NoState is returned by operations that fail to find a state.
 const NoState State = -1
+
+// LabelID identifies a distinct label set of a Structure.  Two states have
+// the same LabelID iff they satisfy exactly the same atomic propositions, so
+// label comparison is one integer compare.  LabelIDs are dense integers in
+// [0, NumLabels) and are local to one structure: comparing LabelIDs across
+// structures is meaningless (compare LabelKeys instead).
+type LabelID int32
 
 // Prop is an atomic proposition: either a plain proposition (Indexed false)
 // or an indexed proposition P_Index (Indexed true).
@@ -73,73 +97,110 @@ type Structure struct {
 	name    string
 	initial State
 
-	succ [][]State
-	pred [][]State
+	// Transition relation in compressed-sparse-row form, both directions.
+	// The successor list of s is succEdges[succOff[s]:succOff[s+1]], sorted;
+	// likewise for predecessors.
+	succEdges []State
+	succOff   []int32
+	predEdges []State
+	predOff   []int32
 
-	labels [][]Prop // sorted by Prop.Less, deduplicated
-	ones   [][]string
+	// Interned labelling: labelIDs[s] indexes the distinct-label tables.
+	labelIDs  []LabelID
+	labelSets [][]Prop // per LabelID, sorted by Prop.Less, deduplicated
+	labelKeys []string // per LabelID, canonical key
 
-	labelKeys []string
+	// ones[s] lists the indexed proposition names holding for exactly one
+	// index in s.  States sharing a LabelID alias one slice unless a builder
+	// override forced a per-state value.
+	ones [][]string
+
+	// props caches the per-proposition state sets, built on first use (the
+	// cache is a pointer so shallow copies like Rename share it).
+	props *propCache
 
 	indexValues []int
+}
+
+// propCache lazily holds the per-proposition state sets of one structure.
+type propCache struct {
+	once sync.Once
+	sets map[Prop]BitSet
+}
+
+// propSets returns the per-proposition state sets, building them on first
+// use.  Safe for concurrent callers: structures are immutable and shared.
+func (m *Structure) propSets() map[Prop]BitSet {
+	m.props.once.Do(func() {
+		m.props.sets = buildPropStates(m.NumStates(), m.labelIDs, m.labelSets)
+	})
+	return m.props.sets
 }
 
 // Name returns the structure's name (may be empty).
 func (m *Structure) Name() string { return m.name }
 
 // NumStates returns the number of states.
-func (m *Structure) NumStates() int { return len(m.succ) }
+func (m *Structure) NumStates() int { return len(m.labelIDs) }
 
 // NumTransitions returns the number of transitions.
-func (m *Structure) NumTransitions() int {
-	n := 0
-	for _, ss := range m.succ {
-		n += len(ss)
-	}
-	return n
-}
+func (m *Structure) NumTransitions() int { return len(m.succEdges) }
 
 // Initial returns the initial state s0.
 func (m *Structure) Initial() State { return m.initial }
 
-// Succ returns the successors of s.  The returned slice must not be
-// modified.
-func (m *Structure) Succ(s State) []State { return m.succ[s] }
+// Succ returns the successors of s in increasing order.  The returned slice
+// is a view into shared backing and must not be modified.
+func (m *Structure) Succ(s State) []State { return m.succEdges[m.succOff[s]:m.succOff[s+1]] }
 
-// Pred returns the predecessors of s.  The returned slice must not be
-// modified.
-func (m *Structure) Pred(s State) []State { return m.pred[s] }
+// Pred returns the predecessors of s in increasing order.  The returned
+// slice is a view into shared backing and must not be modified.
+func (m *Structure) Pred(s State) []State { return m.predEdges[m.predOff[s]:m.predOff[s+1]] }
 
 // HasTransition reports whether there is a transition from s to t.
 func (m *Structure) HasTransition(s, t State) bool {
-	for _, u := range m.succ[s] {
-		if u == t {
-			return true
-		}
-	}
-	return false
+	succ := m.Succ(s)
+	i := sort.Search(len(succ), func(i int) bool { return succ[i] >= t })
+	return i < len(succ) && succ[i] == t
 }
 
 // Label returns the propositions holding in s, sorted.  The returned slice
-// must not be modified.
-func (m *Structure) Label(s State) []Prop { return m.labels[s] }
+// is shared by all states with the same label set and must not be modified.
+func (m *Structure) Label(s State) []Prop { return m.labelSets[m.labelIDs[s]] }
+
+// LabelID returns the interned identifier of s's label set.  Two states of
+// the same structure satisfy the same atomic propositions iff their LabelIDs
+// are equal.
+func (m *Structure) LabelID(s State) LabelID { return m.labelIDs[s] }
+
+// NumLabels returns the number of distinct label sets.
+func (m *Structure) NumLabels() int { return len(m.labelSets) }
+
+// LabelKeyByID returns the canonical key of the given label set.  Keys agree
+// across structures: two states of different structures satisfy the same
+// atomic propositions iff their label keys are equal.
+func (m *Structure) LabelKeyByID(id LabelID) string { return m.labelKeys[id] }
+
+// LabelSetByID returns the label set with the given id, sorted.  The
+// returned slice must not be modified.
+func (m *Structure) LabelSetByID(id LabelID) []Prop { return m.labelSets[id] }
 
 // LabelKey returns a canonical string for the label of s (plain and indexed
 // propositions).  Two states have the same LabelKey iff they satisfy exactly
 // the same atomic propositions.  The derived "exactly one" propositions are
 // not part of the key; use LabelKeyWithOnes when they have been added to AP
 // (Section 4's extension) and must be respected by a correspondence.
-func (m *Structure) LabelKey(s State) string { return m.labelKeys[s] }
+func (m *Structure) LabelKey(s State) string { return m.labelKeys[m.labelIDs[s]] }
 
 // LabelKeyWithOnes returns LabelKey(s) extended with the truth values of the
 // "exactly one" propositions listed in oneProps.  The props must be sorted
 // or at least given in the same order for the two structures being compared.
 func (m *Structure) LabelKeyWithOnes(s State, oneProps []string) string {
 	if len(oneProps) == 0 {
-		return m.labelKeys[s]
+		return m.LabelKey(s)
 	}
 	var sb strings.Builder
-	sb.WriteString(m.labelKeys[s])
+	sb.WriteString(m.LabelKey(s))
 	for _, p := range oneProps {
 		sb.WriteString("!one:")
 		sb.WriteString(p)
@@ -155,10 +216,14 @@ func (m *Structure) LabelKeyWithOnes(s State, oneProps []string) string {
 
 // Holds reports whether proposition p is in the label of s.
 func (m *Structure) Holds(s State, p Prop) bool {
-	lbl := m.labels[s]
-	i := sort.Search(len(lbl), func(i int) bool { return !lbl[i].Less(p) })
-	return i < len(lbl) && lbl[i] == p
+	bs, ok := m.propSets()[p]
+	return ok && bs.Get(int(s))
 }
+
+// StatesWith returns the set of states whose label contains p, or nil when
+// no state satisfies p.  The returned set is shared and must not be
+// modified.
+func (m *Structure) StatesWith(p Prop) BitSet { return m.propSets()[p] }
 
 // ExactlyOne reports whether exactly one index value c has prop_c in the
 // label of s (the O_i prop_i atom of Section 4).
@@ -193,8 +258,8 @@ func (m *Structure) States() []State {
 // IsTotal reports whether every state has at least one successor, as the
 // semantics of CTL* requires.
 func (m *Structure) IsTotal() bool {
-	for _, ss := range m.succ {
-		if len(ss) == 0 {
+	for s := 0; s < m.NumStates(); s++ {
+		if m.succOff[s] == m.succOff[s+1] {
 			return false
 		}
 	}
@@ -204,8 +269,8 @@ func (m *Structure) IsTotal() bool {
 // DeadlockStates returns the states without successors, in increasing order.
 func (m *Structure) DeadlockStates() []State {
 	var out []State
-	for s, ss := range m.succ {
-		if len(ss) == 0 {
+	for s := 0; s < m.NumStates(); s++ {
+		if m.succOff[s] == m.succOff[s+1] {
 			out = append(out, State(s))
 		}
 	}
@@ -216,7 +281,7 @@ func (m *Structure) DeadlockStates() []State {
 // structure, sorted.
 func (m *Structure) AtomNames() []string {
 	set := map[string]bool{}
-	for _, lbl := range m.labels {
+	for _, lbl := range m.labelSets {
 		for _, p := range lbl {
 			if !p.Indexed {
 				set[p.Name] = true
@@ -230,7 +295,7 @@ func (m *Structure) AtomNames() []string {
 // the structure, sorted.
 func (m *Structure) IndexedPropNames() []string {
 	set := map[string]bool{}
-	for _, lbl := range m.labels {
+	for _, lbl := range m.labelSets {
 		for _, p := range lbl {
 			if p.Indexed {
 				set[p.Name] = true
@@ -252,7 +317,8 @@ func (m *Structure) Validate() error {
 	if m.initial < 0 || int(m.initial) >= n {
 		return fmt.Errorf("kripke: structure %q: initial state %d out of range [0,%d)", m.name, m.initial, n)
 	}
-	for s, ss := range m.succ {
+	for s := 0; s < n; s++ {
+		ss := m.Succ(State(s))
 		if len(ss) == 0 {
 			return fmt.Errorf("kripke: structure %q: state %d has no successors (relation must be total)", m.name, s)
 		}
@@ -280,23 +346,34 @@ func sortedStrings(set map[string]bool) []string {
 
 // Builder incrementally constructs a Structure.  The zero value is ready to
 // use.  Builders are not safe for concurrent use.
+//
+// Label sets are interned as they are added, so AddState with a label set
+// already seen costs no allocation beyond the per-state id; callers on hot
+// paths may therefore reuse one scratch props slice across AddState calls
+// (the builder never keeps a reference to the argument).
 type Builder struct {
 	name         string
-	states       [][]Prop
+	labelIDs     []LabelID
+	labelSets    [][]Prop
+	labelKeys    []string
+	labelOnes    [][]string // derived "exactly one" props per LabelID
+	intern       map[string]LabelID
 	onesOverride map[State][]string
-	transitions  map[int64]struct{}
-	edges        [][2]State
+	edges        []uint64 // from<<32 | to; deduplicated at Build
 	initial      State
 	initialSet   bool
 	indexValues  map[int]bool
+
+	scratchProps []Prop
+	scratchKey   []byte
 }
 
 // NewBuilder returns a Builder for a structure with the given name.
 func NewBuilder(name string) *Builder {
 	return &Builder{
 		name:         name,
+		intern:       make(map[string]LabelID),
 		onesOverride: make(map[State][]string),
-		transitions:  make(map[int64]struct{}),
 		indexValues:  make(map[int]bool),
 	}
 }
@@ -308,7 +385,7 @@ func NewBuilder(name string) *Builder {
 // operations such as quotienting must carry the original truth values over
 // explicitly.  Passing nil restores the derived behaviour.
 func (b *Builder) SetOnes(s State, props []string) error {
-	if int(s) < 0 || int(s) >= len(b.states) {
+	if int(s) < 0 || int(s) >= len(b.labelIDs) {
 		return fmt.Errorf("kripke: SetOnes: state %d out of range", s)
 	}
 	if props == nil {
@@ -321,52 +398,96 @@ func (b *Builder) SetOnes(s State, props []string) error {
 	return nil
 }
 
-// AddState adds a state labelled with props and returns its identifier.
-func (b *Builder) AddState(props ...Prop) State {
-	lbl := normalizeLabel(props)
-	b.states = append(b.states, lbl)
-	for _, p := range lbl {
+// internLabel normalizes props into the builder's scratch space and returns
+// the dense id of the label set, creating it on first sight.  Only a first
+// sight clones the props (and materialises the key string); duplicates are
+// allocation free.
+func (b *Builder) internLabel(props []Prop) LabelID {
+	lbl := normalizeLabelInto(b.scratchProps[:0], props)
+	b.scratchProps = lbl[:0]
+	b.scratchKey = appendLabelKey(b.scratchKey[:0], lbl)
+	if id, ok := b.intern[string(b.scratchKey)]; ok {
+		return id
+	}
+	return b.internNew(lbl, string(b.scratchKey))
+}
+
+// internNew records a label set seen for the first time.  lbl must be sorted
+// and deduplicated; it is cloned, so callers may reuse it.
+func (b *Builder) internNew(lbl []Prop, key string) LabelID {
+	id := LabelID(len(b.labelSets))
+	var cp []Prop
+	if len(lbl) > 0 {
+		cp = append(cp, lbl...)
+	}
+	b.intern[key] = id
+	b.labelSets = append(b.labelSets, cp)
+	b.labelKeys = append(b.labelKeys, key)
+	b.labelOnes = append(b.labelOnes, computeOnes(cp))
+	for _, p := range cp {
 		if p.Indexed {
 			b.indexValues[p.Index] = true
 		}
 	}
-	return State(len(b.states) - 1)
+	return id
+}
+
+// AddState adds a state labelled with props and returns its identifier.
+func (b *Builder) AddState(props ...Prop) State {
+	b.labelIDs = append(b.labelIDs, b.internLabel(props))
+	return State(len(b.labelIDs) - 1)
+}
+
+// AddStateNormalized adds a state whose label is already sorted by Prop.Less
+// and deduplicated, skipping the normalization sort — the dominant cost of
+// AddState for builders that generate labels in canonical order (one linear
+// order check remains, and a label that fails it is normalized as usual).
+// The slice is not retained; callers may reuse it.
+func (b *Builder) AddStateNormalized(props []Prop) State {
+	for i := 1; i < len(props); i++ {
+		if !props[i-1].Less(props[i]) {
+			return b.AddState(props...)
+		}
+	}
+	b.scratchKey = appendLabelKey(b.scratchKey[:0], props)
+	id, ok := b.intern[string(b.scratchKey)]
+	if !ok {
+		id = b.internNew(props, string(b.scratchKey))
+	}
+	b.labelIDs = append(b.labelIDs, id)
+	return State(len(b.labelIDs) - 1)
+}
+
+// Grow pre-allocates the builder's state and edge tables for a caller that
+// knows (approximately) how large the structure will be.
+func (b *Builder) Grow(states, edges int) {
+	b.labelIDs = slices.Grow(b.labelIDs, states)
+	b.edges = slices.Grow(b.edges, edges)
 }
 
 // SetLabel replaces the label of an existing state.
 func (b *Builder) SetLabel(s State, props ...Prop) error {
-	if int(s) < 0 || int(s) >= len(b.states) {
+	if int(s) < 0 || int(s) >= len(b.labelIDs) {
 		return fmt.Errorf("kripke: SetLabel: state %d out of range", s)
 	}
-	lbl := normalizeLabel(props)
-	b.states[s] = lbl
-	for _, p := range lbl {
-		if p.Indexed {
-			b.indexValues[p.Index] = true
-		}
-	}
+	b.labelIDs[s] = b.internLabel(props)
 	return nil
 }
 
 // AddTransition adds the transition from -> to.  Duplicate transitions are
 // ignored.  It returns an error if either endpoint does not exist yet.
 func (b *Builder) AddTransition(from, to State) error {
-	n := len(b.states)
+	n := len(b.labelIDs)
 	if int(from) < 0 || int(from) >= n || int(to) < 0 || int(to) >= n {
 		return fmt.Errorf("kripke: AddTransition(%d, %d): state out of range [0,%d)", from, to, n)
 	}
-	key := int64(from)<<32 | int64(uint32(to))
-	if _, dup := b.transitions[key]; dup {
-		return nil
-	}
-	b.transitions[key] = struct{}{}
-	b.edges = append(b.edges, [2]State{from, to})
+	b.edges = append(b.edges, uint64(from)<<32|uint64(uint32(to)))
 	return nil
 }
 
 // SetInitial designates the initial state.
 func (b *Builder) SetInitial(s State) error {
-	if int(s) < 0 || int(s) >= len(b.states) {
+	if int(s) < 0 || int(s) >= len(b.labelIDs) {
 		return fmt.Errorf("kripke: SetInitial: state %d out of range", s)
 	}
 	b.initial = s
@@ -380,7 +501,7 @@ func (b *Builder) SetInitial(s State) error {
 func (b *Builder) DeclareIndex(i int) { b.indexValues[i] = true }
 
 // NumStates returns the number of states added so far.
-func (b *Builder) NumStates() int { return len(b.states) }
+func (b *Builder) NumStates() int { return len(b.labelIDs) }
 
 // Build finalises the structure.  It returns an error if no state was added,
 // if the initial state was never set, or if the transition relation is not
@@ -402,39 +523,59 @@ func (b *Builder) Build() (*Structure, error) {
 // of this kind: it only becomes a Kripke structure after restriction to the
 // states reachable from the initial state.
 func (b *Builder) BuildPartial() (*Structure, error) {
-	if len(b.states) == 0 {
+	if len(b.labelIDs) == 0 {
 		return nil, fmt.Errorf("kripke: Build: structure %q has no states", b.name)
 	}
 	if !b.initialSet {
 		return nil, fmt.Errorf("kripke: Build: structure %q has no initial state", b.name)
 	}
-	n := len(b.states)
+	n := len(b.labelIDs)
 	m := &Structure{
 		name:      b.name,
 		initial:   b.initial,
-		succ:      make([][]State, n),
-		pred:      make([][]State, n),
-		labels:    make([][]Prop, n),
-		ones:      make([][]string, n),
-		labelKeys: make([]string, n),
+		labelIDs:  append([]LabelID(nil), b.labelIDs...),
+		labelSets: b.labelSets,
+		labelKeys: b.labelKeys,
 	}
-	copy(m.labels, b.states)
-	for _, e := range b.edges {
-		m.succ[e[0]] = append(m.succ[e[0]], e[1])
-		m.pred[e[1]] = append(m.pred[e[1]], e[0])
+
+	// Edges sorted by (from, to) give the successor CSR directly; a second
+	// counting pass over the same order fills sorted predecessor rows.
+	slices.Sort(b.edges)
+	edges := slices.Compact(b.edges)
+	b.edges = edges
+	m.succOff = make([]int32, n+1)
+	m.predOff = make([]int32, n+1)
+	for _, e := range edges {
+		m.succOff[int(e>>32)+1]++
+		m.predOff[int(uint32(e))+1]++
 	}
-	for s := range m.succ {
-		sortStates(m.succ[s])
-		sortStates(m.pred[s])
+	for s := 0; s < n; s++ {
+		m.succOff[s+1] += m.succOff[s]
+		m.predOff[s+1] += m.predOff[s]
 	}
-	for s := range m.labels {
+	m.succEdges = make([]State, len(edges))
+	m.predEdges = make([]State, len(edges))
+	predNext := make([]int32, n)
+	copy(predNext, m.predOff[:n])
+	for i, e := range edges {
+		from, to := State(e>>32), State(uint32(e))
+		m.succEdges[i] = to
+		m.predEdges[predNext[to]] = from
+		predNext[to]++
+	}
+
+	// The "exactly one" sets: derived per label id, overridden per state.
+	m.ones = make([][]string, n)
+	for s, id := range m.labelIDs {
 		if override, ok := b.onesOverride[State(s)]; ok {
 			m.ones[s] = override
 		} else {
-			m.ones[s] = computeOnes(m.labels[s])
+			m.ones[s] = b.labelOnes[id]
 		}
-		m.labelKeys[s] = labelKey(m.labels[s])
 	}
+
+	m.props = &propCache{}
+
 	m.indexValues = make([]int, 0, len(b.indexValues))
 	for i := range b.indexValues {
 		m.indexValues = append(m.indexValues, i)
@@ -443,19 +584,31 @@ func (b *Builder) BuildPartial() (*Structure, error) {
 	return m, nil
 }
 
-func sortStates(ss []State) {
-	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+// buildPropStates computes the per-proposition state sets of a structure.
+func buildPropStates(n int, labelIDs []LabelID, labelSets [][]Prop) map[Prop]BitSet {
+	out := make(map[Prop]BitSet)
+	for s, id := range labelIDs {
+		for _, p := range labelSets[id] {
+			bs, ok := out[p]
+			if !ok {
+				bs = NewBitSet(n)
+				out[p] = bs
+			}
+			bs.Set(s)
+		}
+	}
+	return out
 }
 
-func normalizeLabel(props []Prop) []Prop {
+// normalizeLabelInto sorts and deduplicates props into dst (reused scratch).
+func normalizeLabelInto(dst []Prop, props []Prop) []Prop {
 	if len(props) == 0 {
-		return nil
+		return dst
 	}
-	lbl := make([]Prop, len(props))
-	copy(lbl, props)
-	sort.Slice(lbl, func(i, j int) bool { return lbl[i].Less(lbl[j]) })
-	out := lbl[:1]
-	for _, p := range lbl[1:] {
+	dst = append(dst, props...)
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Less(dst[j]) })
+	out := dst[:1]
+	for _, p := range dst[1:] {
 		if p != out[len(out)-1] {
 			out = append(out, p)
 		}
@@ -464,29 +617,31 @@ func normalizeLabel(props []Prop) []Prop {
 }
 
 // computeOnes returns the names of indexed propositions that appear with
-// exactly one index in the label, sorted.
+// exactly one index in the label, sorted.  lbl is sorted by Prop.Less, so
+// indexed propositions are grouped by name in ascending name order and one
+// linear pass suffices (the result inherits the sort).
 func computeOnes(lbl []Prop) []string {
-	counts := map[string]int{}
-	for _, p := range lbl {
-		if p.Indexed {
-			counts[p.Name]++
-		}
-	}
 	var out []string
-	for name, c := range counts {
-		if c == 1 {
-			out = append(out, name)
+	for i := 0; i < len(lbl); {
+		if !lbl[i].Indexed {
+			i++
+			continue
 		}
+		j := i + 1
+		for j < len(lbl) && lbl[j].Name == lbl[i].Name {
+			j++
+		}
+		if j-i == 1 {
+			out = append(out, lbl[i].Name)
+		}
+		i = j
 	}
-	sort.Strings(out)
 	return out
 }
 
-func labelKey(lbl []Prop) string { return string(appendLabelKey(nil, lbl)) }
-
 // appendLabelKey appends the canonical key of lbl to dst.  Prop.String is
 // inlined so building a key costs no allocation beyond dst itself; callers
-// on hot paths (reductions rebuild every key) reuse a scratch buffer.
+// on hot paths reuse a scratch buffer.
 func appendLabelKey(dst []byte, lbl []Prop) []byte {
 	for _, p := range lbl {
 		dst = append(dst, p.Name...)

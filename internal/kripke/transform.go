@@ -27,7 +27,7 @@ func (m *Structure) ReachableStates() []State {
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range m.succ[s] {
+		for _, t := range m.Succ(s) {
 			if !seen[t] {
 				seen[t] = true
 				stack = append(stack, t)
@@ -60,7 +60,7 @@ func (m *Structure) Induced(keep []State) (*Structure, []State) {
 	}
 	b := NewBuilder(m.name)
 	for _, s := range keep {
-		ns := b.AddState(m.labels[s]...)
+		ns := b.AddState(m.Label(s)...)
 		// Preserve the derived "exactly one" truth values even when m is a
 		// reduction whose labels no longer determine them.
 		_ = b.SetOnes(ns, m.ones[s])
@@ -69,7 +69,7 @@ func (m *Structure) Induced(keep []State) (*Structure, []State) {
 		b.DeclareIndex(i)
 	}
 	for _, s := range keep {
-		for _, t := range m.succ[s] {
+		for _, t := range m.Succ(s) {
 			if nt, ok := oldToNew[t]; ok {
 				// Both endpoints kept: add the edge (errors are impossible
 				// because the states were just added).
@@ -113,30 +113,33 @@ func (m *Structure) reduceWith(keep, renameTo int) *Structure {
 	out := &Structure{
 		name:      fmt.Sprintf("%s|%d", m.name, keep),
 		initial:   m.initial,
-		succ:      m.succ,
-		pred:      m.pred,
-		labels:    make([][]Prop, n),
+		succEdges: m.succEdges, // the relation is untouched; share the CSR arrays
+		succOff:   m.succOff,
+		predEdges: m.predEdges,
+		predOff:   m.predOff,
 		ones:      m.ones, // the O_i P_i atoms live in AP and are preserved verbatim
-		labelKeys: make([]string, n),
 	}
-	// Surviving labels are tiny (the plain props plus at most a few indexed
-	// ones), so they are packed into one backing array sized by a counting
-	// pass; reductions are rebuilt constantly by the correspondence engine
-	// and per-state slice growth dominated this function's cost.
+	// The reduction of a label set depends only on the set, so the work is
+	// done once per distinct LabelID of m — the correspondence engine
+	// rebuilds reductions constantly, and per-state label work dominated
+	// this function's cost before labels were interned.  Distinct labels of
+	// m may collapse onto one reduced label, so the reduced ids are interned
+	// again.
+	intern := make(map[string]LabelID)
+	idMap := make([]LabelID, m.NumLabels())
 	kept := 0
-	for s := 0; s < n; s++ {
-		for _, p := range m.labels[s] {
+	for _, lbl := range m.labelSets {
+		for _, p := range lbl {
 			if !p.Indexed || p.Index == keep {
 				kept++
 			}
 		}
 	}
 	backing := make([]Prop, 0, kept)
-	keyCache := make(map[string]string)
 	var scratch []byte
-	for s := 0; s < n; s++ {
+	for id, lbl := range m.labelSets {
 		start := len(backing)
-		for _, p := range m.labels[s] {
+		for _, p := range lbl {
 			switch {
 			case !p.Indexed:
 				backing = append(backing, p)
@@ -144,25 +147,31 @@ func (m *Structure) reduceWith(keep, renameTo int) *Structure {
 				backing = append(backing, PI(p.Name, renameTo))
 			}
 		}
-		lbl := backing[start:len(backing):len(backing)]
+		reduced := backing[start:len(backing):len(backing)]
 		// Insertion sort: surviving labels have at most a handful of props.
-		for i := 1; i < len(lbl); i++ {
-			for j := i; j > 0 && lbl[j].Less(lbl[j-1]); j-- {
-				lbl[j], lbl[j-1] = lbl[j-1], lbl[j]
+		for i := 1; i < len(reduced); i++ {
+			for j := i; j > 0 && reduced[j].Less(reduced[j-1]); j-- {
+				reduced[j], reduced[j-1] = reduced[j-1], reduced[j]
 			}
 		}
-		out.labels[s] = lbl
-		// Reductions collapse most labels onto a few distinct keys; build
-		// the key in a scratch buffer and reuse the canonical string (the
-		// map lookup through string(scratch) does not allocate).
-		scratch = appendLabelKey(scratch[:0], lbl)
-		key, ok := keyCache[string(scratch)]
+		scratch = appendLabelKey(scratch[:0], reduced)
+		rid, ok := intern[string(scratch)]
 		if !ok {
-			key = string(scratch)
-			keyCache[key] = key
+			rid = LabelID(len(out.labelSets))
+			key := string(scratch)
+			intern[key] = rid
+			out.labelSets = append(out.labelSets, reduced)
+			out.labelKeys = append(out.labelKeys, key)
+		} else {
+			backing = backing[:start] // duplicate reduced label: reclaim
 		}
-		out.labelKeys[s] = key
+		idMap[id] = rid
 	}
+	out.labelIDs = make([]LabelID, n)
+	for s, id := range m.labelIDs {
+		out.labelIDs[s] = idMap[id]
+	}
+	out.props = &propCache{}
 	out.indexValues = []int{renameTo}
 	return out
 }
@@ -177,14 +186,14 @@ func (m *Structure) MakeTotal() *Structure {
 	}
 	b := NewBuilder(m.name)
 	for s := 0; s < m.NumStates(); s++ {
-		ns := b.AddState(m.labels[s]...)
+		ns := b.AddState(m.Label(State(s))...)
 		_ = b.SetOnes(ns, m.ones[s])
 	}
 	for _, i := range m.indexValues {
 		b.DeclareIndex(i)
 	}
 	for s := 0; s < m.NumStates(); s++ {
-		for _, t := range m.succ[s] {
+		for _, t := range m.Succ(State(s)) {
 			_ = b.AddTransition(State(s), t)
 		}
 	}
@@ -205,8 +214,8 @@ func (m *Structure) MakeTotal() *Structure {
 func (m *Structure) Reindex(rename map[int]int) *Structure {
 	b := NewBuilder(m.name)
 	for s := 0; s < m.NumStates(); s++ {
-		lbl := make([]Prop, 0, len(m.labels[s]))
-		for _, p := range m.labels[s] {
+		lbl := make([]Prop, 0, len(m.Label(State(s))))
+		for _, p := range m.Label(State(s)) {
 			if p.Indexed {
 				if to, ok := rename[p.Index]; ok {
 					p = PI(p.Name, to)
@@ -224,7 +233,7 @@ func (m *Structure) Reindex(rename map[int]int) *Structure {
 		}
 	}
 	for s := 0; s < m.NumStates(); s++ {
-		for _, t := range m.succ[s] {
+		for _, t := range m.Succ(State(s)) {
 			_ = b.AddTransition(State(s), t)
 		}
 	}

@@ -379,11 +379,13 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 	}
 }
 
+// atomSet seeds the satisfaction set of an atomic proposition from the
+// structure's precomputed per-prop state sets: no per-state label scan, just
+// a walk over the (usually sparse) bits.
 func (c *Checker) atomSet(p kripke.Prop) []bool {
-	n := c.m.NumStates()
-	sat := make([]bool, n)
-	for s := 0; s < n; s++ {
-		sat[s] = c.m.Holds(kripke.State(s), p)
+	sat := make([]bool, c.m.NumStates())
+	if bs := c.m.StatesWith(p); bs != nil {
+		bs.ForEach(func(s int) bool { sat[s] = true; return true })
 	}
 	return sat
 }

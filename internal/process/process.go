@@ -81,6 +81,13 @@ func (t *Template) stateIndex(name string) (int, error) {
 type SharedVar struct {
 	Name    string
 	Initial int
+	// Max, when positive, declares an inclusive upper bound on the values
+	// the variable takes (values must stay in [0, Max]).  Declaring bounds
+	// for every shared variable lets the state-space builder pack global
+	// states into machine words instead of strings; a rule that drives a
+	// bounded variable outside its range makes BuildKripke fail.  Zero
+	// leaves the variable unbounded (and the builder on the string path).
+	Max int
 }
 
 // Update describes the effect of firing a rule: new local states for some
@@ -232,6 +239,65 @@ func (v View) key() string {
 	return sb.String()
 }
 
+// stateCodec packs a global state — every process's local-state index plus
+// the shared variable values — into one uint64, so the exploration's
+// frontier dedup is a word-keyed map probe instead of a string build.  A
+// network is packable when the local fields of all N processes and the
+// declared ranges of all shared variables (SharedVar.Max) fit in 64 bits;
+// BuildKripke falls back to the canonical string keys otherwise.
+type stateCodec struct {
+	localBits  uint
+	sharedOff  []uint
+	sharedMax  []int
+	sharedBits []uint
+}
+
+// newStateCodec returns the codec for n, or ok=false when the network's
+// states do not pack into a word.
+func (n *Network) newStateCodec() (c stateCodec, ok bool) {
+	c.localBits = bitsFor(len(n.Template.States) - 1)
+	total := uint(n.N) * c.localBits
+	for _, sv := range n.Shared {
+		if sv.Max <= 0 || sv.Initial < 0 || sv.Initial > sv.Max {
+			return stateCodec{}, false
+		}
+		c.sharedOff = append(c.sharedOff, total)
+		c.sharedMax = append(c.sharedMax, sv.Max)
+		c.sharedBits = append(c.sharedBits, bitsFor(sv.Max))
+		total += bitsFor(sv.Max)
+	}
+	if total > 64 {
+		return stateCodec{}, false
+	}
+	return c, true
+}
+
+// bitsFor returns the number of bits needed to store values in [0, max].
+func bitsFor(max int) uint {
+	bits := uint(1)
+	for max >= 1<<bits {
+		bits++
+	}
+	return bits
+}
+
+// encode packs v, reporting an error when a shared variable has left its
+// declared range.
+func (c stateCodec) encode(v View) (uint64, error) {
+	var code uint64
+	for i, ls := range v.locals {
+		code |= uint64(ls) << (uint(i) * c.localBits)
+	}
+	for i, val := range v.shared {
+		if val < 0 || val > c.sharedMax[i] {
+			return 0, fmt.Errorf("process: shared variable %q = %d outside its declared range [0, %d]",
+				v.net.Shared[i].Name, val, c.sharedMax[i])
+		}
+		code |= uint64(val) << c.sharedOff[i]
+	}
+	return code, nil
+}
+
 func (v View) apply(u Update) (View, error) {
 	out := View{net: v.net,
 		locals: append([]int(nil), v.locals...),
@@ -301,20 +367,47 @@ func (n *Network) BuildKripke(opts BuildOptions) (*kripke.Structure, error) {
 	for i := 1; i <= n.N; i++ {
 		b.DeclareIndex(i)
 	}
-	idOf := map[string]kripke.State{}
+	// Frontier dedup: packed word keys when the network's states fit in a
+	// uint64 (see stateCodec), canonical string keys otherwise.
+	codec, packed := n.newStateCodec()
+	var byCode map[uint64]kripke.State
+	var byKey map[string]kripke.State
+	if packed {
+		byCode = map[uint64]kripke.State{}
+	} else {
+		byKey = map[string]kripke.State{}
+	}
 	var views []View
+	var labelScratch []kripke.Prop
 
 	addState := func(v View) (kripke.State, bool, error) {
-		k := v.key()
-		if id, ok := idOf[k]; ok {
-			return id, false, nil
+		var code uint64
+		var key string
+		if packed {
+			var err error
+			if code, err = codec.encode(v); err != nil {
+				return 0, false, err
+			}
+			if id, ok := byCode[code]; ok {
+				return id, false, nil
+			}
+		} else {
+			key = v.key()
+			if id, ok := byKey[key]; ok {
+				return id, false, nil
+			}
 		}
 		if len(views) >= maxStates {
 			return 0, false, fmt.Errorf("process: network %s exceeds the %d state limit; "+
 				"build a small instance and use the correspondence theorem instead", name, maxStates)
 		}
-		id := b.AddState(n.labelOf(v)...)
-		idOf[k] = id
+		labelScratch = n.appendLabel(labelScratch[:0], v)
+		id := b.AddState(labelScratch...)
+		if packed {
+			byCode[code] = id
+		} else {
+			byKey[key] = id
+		}
 		views = append(views, v)
 		return id, true, nil
 	}
@@ -394,21 +487,23 @@ func (n *Network) successors(v View) ([]View, error) {
 	return out, nil
 }
 
-func (n *Network) labelOf(v View) []kripke.Prop {
-	var props []kripke.Prop
+// appendLabel appends the global label of v to dst (reusable scratch): the
+// indexed propositions of every process's local state plus any plain
+// propositions from GlobalProps.
+func (n *Network) appendLabel(dst []kripke.Prop, v View) []kripke.Prop {
 	for i := 1; i <= n.N; i++ {
 		for _, prop := range n.Template.Labels[v.Local(i)] {
-			props = append(props, kripke.PI(prop, i))
+			dst = append(dst, kripke.PI(prop, i))
 		}
 	}
 	if n.GlobalProps != nil {
 		plain := n.GlobalProps(v)
 		sort.Strings(plain)
 		for _, p := range plain {
-			props = append(props, kripke.P(p))
+			dst = append(dst, kripke.P(p))
 		}
 	}
-	return props
+	return dst
 }
 
 // FreeProduct returns a network of N copies of the template with no shared

@@ -237,8 +237,142 @@ type Instance struct {
 	M *kripke.Structure
 	// States maps every kripke state to its ring state.
 	States []GlobalState
-	// indexOf maps a ring state key to its kripke state.
-	indexOf map[string]kripke.State
+	// indexOf maps a packed ring state to its kripke state.
+	indexOf map[uint64]kripke.State
+}
+
+// ---------------------------------------------------------------------------
+// Packed global states.
+//
+// A reachable global state assigns one of four parts to each of r ≤ 16
+// processes, so it packs into a uint64 at two bits per process (process i at
+// bits 2(i-1), in Part's constant order).  The BFS in buildInstance works on
+// these codes exclusively: successor generation is register arithmetic,
+// frontier dedup is one map[uint64] probe, and no GlobalState (or its Key
+// string) is ever allocated for a state that has already been seen.  The
+// explicit-construction limit (MaxExplicitStates) keeps r well below the
+// 32-process packing capacity.
+// ---------------------------------------------------------------------------
+
+// packState packs the parts of g into its uint64 code.
+func packState(g GlobalState) uint64 {
+	var code uint64
+	for i, p := range g.Parts {
+		code |= uint64(p) << (2 * uint(i))
+	}
+	return code
+}
+
+// packedPart extracts the part of process i (1-based) from a packed code.
+func packedPart(code uint64, i int) Part { return Part(code >> (2 * uint(i-1)) & 3) }
+
+// withPackedPart returns code with process i's part replaced by p.
+func withPackedPart(code uint64, i int, p Part) uint64 {
+	shift := 2 * uint(i-1)
+	return code&^(3<<shift) | uint64(p)<<shift
+}
+
+// decodeInto fills parts (length r) from a packed code.
+func decodeInto(parts []Part, code uint64) {
+	for i := range parts {
+		parts[i] = Part(code >> (2 * uint(i)) & 3)
+	}
+}
+
+// packedCLN returns cln(j) on a packed code: the delayed process closest to
+// the left of j, or 0 when no process is delayed.
+func packedCLN(code uint64, r, j int) int {
+	for d := 1; d < r; d++ {
+		i := j - d
+		if i < 1 {
+			i += r
+		}
+		if packedPart(code, i) == Delayed {
+			return i
+		}
+	}
+	return 0
+}
+
+// packedDelayedEmpty reports whether no process of a packed code is delayed.
+// A delayed field is 01, so it is exactly a set low bit with a clear high
+// bit; one mask test covers all processes at once.
+func packedDelayedEmpty(code uint64, r int) bool {
+	low := lowBitsMask(r)
+	return code & ^(code>>1) & low == 0
+}
+
+// lowBitsMask returns the mask selecting the low bit of every 2-bit field of
+// an r-process code (0b0101...01 over 2r bits).
+func lowBitsMask(r int) uint64 {
+	return 0x5555555555555555 >> (64 - 2*uint(r))
+}
+
+// appendPackedSuccessors appends the successor codes of code under the four
+// global transition rules of Section 5 (see GlobalState.Successors) to dst.
+// With buggy set it also applies the broken delayed-may-enter rule of
+// SuccessorsBuggy.
+func appendPackedSuccessors(dst []uint64, code uint64, r int, buggy bool) []uint64 {
+	delayedEmpty := packedDelayedEmpty(code, r)
+	for i := 1; i <= r; i++ {
+		switch packedPart(code, i) {
+		case Neutral:
+			// Rule 1: i ∈ N becomes delayed.
+			dst = append(dst, withPackedPart(code, i, Delayed))
+		case Token:
+			// Rule 3: the holder enters its critical section.
+			dst = append(dst, withPackedPart(code, i, Critical))
+			// Rule 2 with j = i ∈ T.
+			if cln := packedCLN(code, r, i); cln != 0 {
+				dst = append(dst, withPackedPart(withPackedPart(code, i, Neutral), cln, Critical))
+			}
+		case Critical:
+			// Rule 2 with j = i ∈ C.
+			if cln := packedCLN(code, r, i); cln != 0 {
+				dst = append(dst, withPackedPart(withPackedPart(code, i, Neutral), cln, Critical))
+			}
+			// Rule 4: leave the critical section keeping the token, only
+			// when no process is delayed.
+			if delayedEmpty {
+				dst = append(dst, withPackedPart(code, i, Token))
+			}
+		case Delayed:
+			if buggy {
+				// The broken variant: a delayed process jumps straight into
+				// its critical section without the token.
+				dst = append(dst, withPackedPart(code, i, Critical))
+			}
+		}
+	}
+	return dst
+}
+
+// appendPackedLabel appends the labelling L_r of a packed code to dst (see
+// GlobalState.Label), in canonical Prop.Less order — one pass per
+// proposition name, names ascending (c < d < n < t), indices ascending
+// within each — so the builder's normalization sort is skipped entirely.
+func appendPackedLabel(dst []kripke.Prop, code uint64, r int) []kripke.Prop {
+	for i := 1; i <= r; i++ {
+		if packedPart(code, i) == Critical {
+			dst = append(dst, kripke.PI(PropCritical, i))
+		}
+	}
+	for i := 1; i <= r; i++ {
+		if packedPart(code, i) == Delayed {
+			dst = append(dst, kripke.PI(PropDelayed, i))
+		}
+	}
+	for i := 1; i <= r; i++ {
+		if p := packedPart(code, i); p == Neutral || p == Token {
+			dst = append(dst, kripke.PI(PropNeutral, i))
+		}
+	}
+	for i := 1; i <= r; i++ {
+		if p := packedPart(code, i); p == Token || p == Critical {
+			dst = append(dst, kripke.PI(PropToken, i))
+		}
+	}
+	return dst
 }
 
 // MaxExplicitStates bounds how many reachable states Build will enumerate.
@@ -256,49 +390,78 @@ var ErrTooLarge = errors.New("instance beyond the explicit-construction limit")
 // regime the correspondence theorem (and the LocalCheck in this package)
 // exists for.
 func Build(r int) (*Instance, error) {
+	inst, err := buildInstance(r, fmt.Sprintf("ring[%d]", r), false)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.M.Validate(); err != nil {
+		return nil, fmt.Errorf("ring: building M_%d: %w", r, err)
+	}
+	return inst, nil
+}
+
+// buildInstance is the one construction path behind Build and BuildBuggy: a
+// breadth-first exploration of the reachable global states over packed
+// uint64 codes.  The returned instance's structure is *partial* (BuildBuggy
+// deadlocks by design); Build validates totality, BuildBuggy adds self
+// loops.
+func buildInstance(r int, name string, buggy bool) (*Instance, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("ring: need at least one process, got %d", r)
 	}
-	expected := expectedReachable(r)
-	if expected > MaxExplicitStates {
+	if expected := expectedReachable(r); expected > MaxExplicitStates {
 		return nil, fmt.Errorf("ring: r=%d has about %d reachable states, beyond the explicit limit %d; "+
 			"use LocalCheck / the correspondence theorem instead: %w", r, expected, MaxExplicitStates, ErrTooLarge)
 	}
-	b := kripke.NewBuilder(fmt.Sprintf("ring[%d]", r))
+	b := kripke.NewBuilder(name)
+	b.Grow(expectedReachable(r), expectedReachable(r)*(r+1))
 	for i := 1; i <= r; i++ {
 		b.DeclareIndex(i)
 	}
-	inst := &Instance{R: r, indexOf: make(map[string]kripke.State)}
+	inst := &Instance{R: r, indexOf: make(map[uint64]kripke.State, expectedReachable(r))}
 
-	add := func(g GlobalState) kripke.State {
-		key := g.Key()
-		if id, ok := inst.indexOf[key]; ok {
+	// codes[s] is the packed form of inst.States[s]; the decoded Parts views
+	// are carved out of chunked backing arrays so the per-state allocation
+	// count stays constant.
+	var codes []uint64
+	var partsBacking []Part
+	var labelScratch []kripke.Prop
+	add := func(code uint64) kripke.State {
+		if id, ok := inst.indexOf[code]; ok {
 			return id
 		}
-		id := b.AddState(g.Label()...)
-		inst.indexOf[key] = id
-		inst.States = append(inst.States, g)
+		labelScratch = appendPackedLabel(labelScratch[:0], code, r)
+		id := b.AddStateNormalized(labelScratch)
+		inst.indexOf[code] = id
+		codes = append(codes, code)
+		if len(partsBacking) < r {
+			partsBacking = make([]Part, 4096*r)
+		}
+		parts := partsBacking[:r:r]
+		partsBacking = partsBacking[r:]
+		decodeInto(parts, code)
+		inst.States = append(inst.States, GlobalState{Parts: parts})
 		return id
 	}
 
-	init := NewGlobalState(r)
-	initID := add(init)
+	initID := add(packState(NewGlobalState(r)))
 	if err := b.SetInitial(initID); err != nil {
 		return nil, err
 	}
-	for frontier := 0; frontier < len(inst.States); frontier++ {
-		g := inst.States[frontier]
+	var succBuf []uint64
+	for frontier := 0; frontier < len(codes); frontier++ {
+		code := codes[frontier]
 		from := kripke.State(frontier)
-		for _, next := range g.Successors() {
-			to := add(next)
-			if err := b.AddTransition(from, to); err != nil {
+		succBuf = appendPackedSuccessors(succBuf[:0], code, r, buggy)
+		for _, next := range succBuf {
+			if err := b.AddTransition(from, add(next)); err != nil {
 				return nil, err
 			}
 		}
 	}
-	m, err := b.Build()
+	m, err := b.BuildPartial()
 	if err != nil {
-		return nil, fmt.Errorf("ring: building M_%d: %w", r, err)
+		return nil, fmt.Errorf("ring: building %s: %w", name, err)
 	}
 	inst.M = m
 	return inst, nil
@@ -323,7 +486,10 @@ func (in *Instance) StateOf(s kripke.State) GlobalState { return in.States[s] }
 // StateID returns the kripke state of a ring state, or false if the ring
 // state is not reachable.
 func (in *Instance) StateID(g GlobalState) (kripke.State, bool) {
-	id, ok := in.indexOf[g.Key()]
+	if g.R() != in.R {
+		return kripke.NoState, false
+	}
+	id, ok := in.indexOf[packState(g)]
 	return id, ok
 }
 
@@ -445,45 +611,10 @@ func (g GlobalState) SuccessorsBuggy() []GlobalState {
 // BuildBuggy constructs the Kripke structure of the broken protocol variant
 // (see SuccessorsBuggy) for a ring of r processes.
 func BuildBuggy(r int) (*Instance, error) {
-	if r < 1 {
-		return nil, fmt.Errorf("ring: need at least one process, got %d", r)
-	}
-	if expectedReachable(r) > MaxExplicitStates {
-		return nil, fmt.Errorf("ring: r=%d is beyond the explicit limit: %w", r, ErrTooLarge)
-	}
-	b := kripke.NewBuilder(fmt.Sprintf("ring-buggy[%d]", r))
-	for i := 1; i <= r; i++ {
-		b.DeclareIndex(i)
-	}
-	inst := &Instance{R: r, indexOf: make(map[string]kripke.State)}
-	add := func(g GlobalState) kripke.State {
-		key := g.Key()
-		if id, ok := inst.indexOf[key]; ok {
-			return id
-		}
-		id := b.AddState(g.Label()...)
-		inst.indexOf[key] = id
-		inst.States = append(inst.States, g)
-		return id
-	}
-	initID := add(NewGlobalState(r))
-	if err := b.SetInitial(initID); err != nil {
-		return nil, err
-	}
-	for frontier := 0; frontier < len(inst.States); frontier++ {
-		g := inst.States[frontier]
-		from := kripke.State(frontier)
-		for _, next := range g.SuccessorsBuggy() {
-			to := add(next)
-			if err := b.AddTransition(from, to); err != nil {
-				return nil, err
-			}
-		}
-	}
-	m, err := b.BuildPartial()
+	inst, err := buildInstance(r, fmt.Sprintf("ring-buggy[%d]", r), true)
 	if err != nil {
 		return nil, err
 	}
-	inst.M = m.MakeTotal()
+	inst.M = inst.M.MakeTotal()
 	return inst, nil
 }

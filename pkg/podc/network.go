@@ -93,6 +93,13 @@ type GlobalNetworkRule struct {
 type SharedVariable struct {
 	Name    string
 	Initial int
+	// Max, when positive, declares an inclusive upper bound on the values
+	// the variable takes (values must stay in [0, Max]).  When every shared
+	// variable is bounded, the state-space builder packs global states into
+	// machine words instead of strings, which makes exploration markedly
+	// faster; a rule that drives a bounded variable outside its range makes
+	// Build fail.  Zero leaves the variable unbounded.
+	Max int
 }
 
 // Network is a family member: N identical processes plus shared variables
@@ -121,7 +128,7 @@ func (n *Network) raw() *process.Network {
 		N:        n.N,
 	}
 	for _, sv := range n.Shared {
-		net.Shared = append(net.Shared, process.SharedVar{Name: sv.Name, Initial: sv.Initial})
+		net.Shared = append(net.Shared, process.SharedVar{Name: sv.Name, Initial: sv.Initial, Max: sv.Max})
 	}
 	for _, r := range n.Rules {
 		r := r

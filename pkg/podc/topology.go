@@ -43,6 +43,18 @@ func TreeTopology() Topology { return Topology{t: family.Tree()} }
 // torus, so only even sizes are valid.
 func TorusTopology() Topology { return Topology{t: family.Torus()} }
 
+// Torus3Topology returns the 3-row 2D-torus family: n processes on a
+// 3 × (n/3) torus, so only multiples of three are valid.  Its n = 12
+// instance is the 3×4 torus of the default sweep.
+func Torus3Topology() Topology { return Topology{t: family.Torus3()} }
+
+// DefaultSweepSizes returns the sizes the default sweep covers — up to the
+// 16384-fold state blow-up of the r = 14 ring and the 3×4 torus (n = 12) —
+// chosen to finish within a CI-friendly budget on the packed builders.
+// Sizes a topology cannot instantiate are skipped per topology, as with any
+// sweep.
+func DefaultSweepSizes() []int { return []int{4, 6, 8, 10, 12, 14} }
+
 // Topologies returns every built-in topology, the ring first.
 func Topologies() []Topology {
 	raw := family.Topologies()

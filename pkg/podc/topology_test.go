@@ -9,7 +9,7 @@ import (
 
 func TestTopologyRegistry(t *testing.T) {
 	names := podc.TopologyNames()
-	want := []string{"ring", "star", "line", "tree", "torus"}
+	want := []string{"ring", "star", "line", "tree", "torus", "torus3"}
 	if len(names) != len(want) {
 		t.Fatalf("TopologyNames = %v, want %v", names, want)
 	}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's benchmark battery (the E1..E10 experiment
+# benchmarks plus the engine micro-benchmarks in bench_test.go) and record
+# the results as JSON, so the perf trajectory of the hot paths is tracked
+# across PRs instead of living in commit messages.
+#
+# Usage:
+#   scripts/bench.sh                # full run (default benchtime), writes BENCH_pr4.json
+#   scripts/bench.sh --smoke        # 1 iteration per benchmark: the CI smoke job
+#   BENCH_OUT=out.json scripts/bench.sh
+#   BENCHTIME=3x scripts/bench.sh   # custom -benchtime
+#
+# Each JSON entry carries the benchmark name, iteration count and every
+# metric Go reported (ns/op, B/op, allocs/op, and custom metrics such as
+# states/sec from BenchmarkStateExplosionBuild).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_pr4.json}"
+benchtime="${BENCHTIME:-1s}"
+if [ "${1:-}" = "--smoke" ]; then
+    benchtime="1x"
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -timeout 60m . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"harness\": \"scripts/bench.sh\",\n  \"benchtime\": \"%s\",\n  \"results\": [", benchtime
+    n = 0
+}
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
+    first = 1
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (!first) printf ", "
+        first = 0
+        printf "\"%s\": %s", $(i + 1), $i
+    }
+    printf "}}"
+}
+END {
+    printf "\n  ],\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
+}
+' "$raw" > "$out"
+
+echo "wrote $out"
