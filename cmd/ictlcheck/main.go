@@ -32,6 +32,7 @@ func run() int {
 	formulaText := flag.String("formula", "", "a single formula to check")
 	formulasPath := flag.String("formulas", "", "path to a file with one formula per line ('#' comments allowed)")
 	witness := flag.Bool("witness", false, "print a witness or counterexample for CTL-shaped formulas")
+	explain := flag.Bool("explain", false, "explain each verdict: decisive subformula plus its witness or counterexample trace")
 	checkRestricted := flag.Bool("restricted", false, "also report whether each formula lies in restricted ICTL*")
 	makeTotal := flag.Bool("make-total", false, "add self loops to deadlock states before checking")
 	minimize := flag.Bool("minimize", false, "quotient the structure by its maximal self-correspondence before checking (CTL*-X truth is preserved; X and -witness refer to the quotient)")
@@ -123,6 +124,9 @@ func run() int {
 		if *witness {
 			printDiagnostic(ctx, verifier, formula, holds)
 		}
+		if *explain {
+			printExplanation(ctx, verifier, formula)
+		}
 	}
 	if allHold {
 		return 0
@@ -139,6 +143,23 @@ func printDiagnostic(ctx context.Context, verifier *podc.Verifier, formula podc.
 	}
 	if trace, err := verifier.Counterexample(ctx, formula); err == nil {
 		fmt.Println("        counterexample:", trace)
+	}
+}
+
+func printExplanation(ctx context.Context, verifier *podc.Verifier, formula podc.Formula) {
+	ex, err := verifier.Explain(ctx, formula)
+	if err != nil {
+		fmt.Println("        explain:", err)
+		return
+	}
+	if ex.Decisive.IsValid() {
+		fmt.Printf("        decisive: %s (holds: %v)\n", ex.Decisive, ex.DecisiveHolds)
+	}
+	if ex.Trace != nil {
+		fmt.Println("        trace:", ex.Trace)
+	}
+	if ex.Note != "" {
+		fmt.Println("        note:", ex.Note)
 	}
 }
 

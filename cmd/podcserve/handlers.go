@@ -56,15 +56,50 @@ type checkRequest struct {
 	Formula string `json:"formula"`
 	// Minimize quotients an inline structure before checking.
 	Minimize bool `json:"minimize,omitempty"`
+	// Evidence requests an explanation of the verdict: the decisive
+	// subformula and, where its shape admits one, a witness or
+	// counterexample trace.
+	Evidence bool `json:"evidence,omitempty"`
+}
+
+// checkEvidence is the explanation object of a /v1/check response.
+type checkEvidence struct {
+	Decisive      string `json:"decisive,omitempty"`
+	DecisiveHolds bool   `json:"decisive_holds"`
+	Trace         string `json:"trace,omitempty"`
+	TraceStates   []int  `json:"trace_states,omitempty"`
+	TraceLoop     int    `json:"trace_loop"`
+	Note          string `json:"note,omitempty"`
 }
 
 type checkResponse struct {
-	Holds      bool   `json:"holds"`
-	Formula    string `json:"formula"`
-	Structure  string `json:"structure"`
-	States     int    `json:"states"`
-	Restricted bool   `json:"restricted"`
-	ElapsedMS  int64  `json:"elapsed_ms"`
+	Holds      bool           `json:"holds"`
+	Formula    string         `json:"formula"`
+	Structure  string         `json:"structure"`
+	States     int            `json:"states"`
+	Restricted bool           `json:"restricted"`
+	Evidence   *checkEvidence `json:"evidence,omitempty"`
+	ElapsedMS  int64          `json:"elapsed_ms"`
+}
+
+// explainCheck runs Verifier.Explain and packages the explanation.
+func explainCheck(ctx context.Context, v *podc.Verifier, formula podc.Formula) (*checkEvidence, error) {
+	ex, err := v.Explain(ctx, formula)
+	if err != nil {
+		return nil, err
+	}
+	out := &checkEvidence{DecisiveHolds: ex.DecisiveHolds, Note: ex.Note, TraceLoop: -1}
+	if ex.Decisive.IsValid() {
+		out.Decisive = ex.Decisive.String()
+	}
+	if ex.Trace != nil {
+		out.Trace = ex.Trace.String()
+		out.TraceLoop = ex.Trace.LoopStart
+		for _, s := range ex.Trace.States {
+			out.TraceStates = append(out.TraceStates, int(s))
+		}
+	}
+	return out, nil
 }
 
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +135,19 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		resp.Holds = holds
 		resp.Structure = rg.Structure().Name()
 		resp.States = rg.Structure().NumStates()
+		if req.Evidence {
+			v, err := s.session.RingVerifier(ctx, req.Ring)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			ev, err := explainCheck(ctx, v, formula)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			resp.Evidence = ev
+		}
 	case req.Structure != "":
 		m, err := podc.ParseStructure(req.Structure)
 		if err != nil {
@@ -129,6 +177,14 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		resp.Holds = holds
 		resp.Structure = m.Name()
 		resp.States = v.Structure().NumStates()
+		if req.Evidence {
+			ev, err := explainCheck(ctx, v, formula)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			resp.Evidence = ev
+		}
 	default:
 		httpError(w, http.StatusBadRequest, errors.New("missing ring size or inline structure"))
 		return
@@ -146,17 +202,33 @@ type correspondRequest struct {
 	// to the topology's cutoff, e.g. 3 for the ring).
 	Small int `json:"small,omitempty"`
 	Large int `json:"large"`
+	// Evidence requests, for a failed correspondence, the machine-checked
+	// explanation: the failing index pair and the distinguishing formula
+	// over its reductions, replayed through the model checker.
+	Evidence bool `json:"evidence,omitempty"`
+}
+
+// correspondEvidence is the explanation object of a failed /v1/correspond.
+type correspondEvidence struct {
+	Reason    string         `json:"reason"`
+	Pair      podc.IndexPair `json:"pair"`
+	Formula   string         `json:"formula,omitempty"`
+	Confirmed bool           `json:"confirmed"`
+	GameSide  string         `json:"game_side,omitempty"`
+	GamePath  []int          `json:"game_path,omitempty"`
+	GameLoop  int            `json:"game_loop"`
 }
 
 type correspondResponse struct {
-	Topology     string           `json:"topology"`
-	Small        int              `json:"small"`
-	Large        int              `json:"large"`
-	Corresponds  bool             `json:"corresponds"`
-	MaxDegree    int              `json:"max_degree"`
-	IndexPairs   int              `json:"index_pairs"`
-	FailingPairs []podc.IndexPair `json:"failing_pairs,omitempty"`
-	ElapsedMS    int64            `json:"elapsed_ms"`
+	Topology     string              `json:"topology"`
+	Small        int                 `json:"small"`
+	Large        int                 `json:"large"`
+	Corresponds  bool                `json:"corresponds"`
+	MaxDegree    int                 `json:"max_degree"`
+	IndexPairs   int                 `json:"index_pairs"`
+	FailingPairs []podc.IndexPair    `json:"failing_pairs,omitempty"`
+	Evidence     *correspondEvidence `json:"evidence,omitempty"`
+	ElapsedMS    int64               `json:"elapsed_ms"`
 }
 
 // resolveFamilyPair validates the topology/small/large triple shared by
@@ -208,7 +280,7 @@ func (s *server) handleCorrespond(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, correspondResponse{
+	resp := correspondResponse{
 		Topology:     topo.Name(),
 		Small:        req.Small,
 		Large:        req.Large,
@@ -216,8 +288,30 @@ func (s *server) handleCorrespond(w http.ResponseWriter, r *http.Request) {
 		MaxDegree:    corr.MaxDegree(),
 		IndexPairs:   len(corr.IndexRelation()),
 		FailingPairs: corr.FailingPairs(),
-		ElapsedMS:    time.Since(start).Milliseconds(),
-	})
+	}
+	if req.Evidence && !corr.Corresponds() {
+		ev, err := s.session.CorrespondenceEvidence(ctx, topo, req.Small, req.Large)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		if ev != nil {
+			out := &correspondEvidence{
+				Reason:    ev.Reason,
+				Pair:      ev.Pair,
+				Formula:   ev.FormulaText,
+				Confirmed: ev.Confirmed,
+				GameSide:  ev.GameSide,
+				GameLoop:  ev.GameLoop,
+			}
+			for _, s := range ev.GamePath {
+				out.GamePath = append(out.GamePath, int(s))
+			}
+			resp.Evidence = out
+		}
+	}
+	resp.ElapsedMS = time.Since(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // transferRequest is the body of POST /v1/transfer.

@@ -308,3 +308,107 @@ func TestTransferTopology(t *testing.T) {
 		t.Errorf("certificate fails re-validation: %v", err)
 	}
 }
+
+// TestCheckEvidence: a failing check with evidence requested returns the
+// decisive subformula and a counterexample trace.
+func TestCheckEvidence(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/check", checkRequest{
+		Ring:     3,
+		Formula:  "forall i . AG c[i]",
+		Evidence: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out checkResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Holds {
+		t.Fatalf("AG c[i] cannot hold on M_3: %s", body)
+	}
+	if out.Evidence == nil {
+		t.Fatalf("no evidence in response: %s", body)
+	}
+	if out.Evidence.Decisive == "" || out.Evidence.Trace == "" {
+		t.Errorf("evidence should carry a decisive subformula and a trace: %s", body)
+	}
+}
+
+// TestCheckEvidenceWitness: a holding existential check yields a witness
+// trace.
+func TestCheckEvidenceWitness(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/check", checkRequest{
+		Ring:     3,
+		Formula:  "E (true U c[1])",
+		Evidence: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out checkResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Holds || out.Evidence == nil || len(out.Evidence.TraceStates) == 0 {
+		t.Fatalf("expected a witness trace for EF c[1]: %s", body)
+	}
+}
+
+// TestCorrespondEvidence: the refuted M_2 vs M_4 correspondence returns a
+// replay-confirmed distinguishing formula naming the failing pair.
+func TestCorrespondEvidence(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/correspond", correspondRequest{
+		Topology: "ring",
+		Small:    2,
+		Large:    4,
+		Evidence: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out correspondResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Corresponds {
+		t.Fatalf("M_2 and M_4 must not correspond: %s", body)
+	}
+	if out.Evidence == nil {
+		t.Fatalf("no evidence in response: %s", body)
+	}
+	if out.Evidence.Formula == "" || !out.Evidence.Confirmed {
+		t.Errorf("evidence must carry a confirmed distinguishing formula: %s", body)
+	}
+	if out.Evidence.Pair.I == 0 && out.Evidence.Pair.I2 == 0 {
+		t.Errorf("evidence should name the failing index pair: %s", body)
+	}
+}
+
+// TestCorrespondEvidenceOmittedOnSuccess: a correspondence that holds has
+// no evidence object even when requested.
+func TestCorrespondEvidenceOmittedOnSuccess(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/correspond", correspondRequest{
+		Topology: "star",
+		Small:    3,
+		Large:    5,
+		Evidence: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out correspondResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Corresponds {
+		t.Fatalf("star M_3 and M_5 should correspond: %s", body)
+	}
+	if out.Evidence != nil {
+		t.Errorf("no evidence expected for a holding correspondence: %s", body)
+	}
+}

@@ -83,6 +83,13 @@ func run() int {
 		}
 	}
 
+	// With -correspond the loop below already decides correct-vs-buggy (the
+	// built instance IS the buggy one) and prints its evidence; the
+	// dedicated buggy report would repeat that decision verbatim.
+	if *buggy && !*correspond {
+		fmt.Println()
+		runBuggyEvidence(ctx, inst)
+	}
 	if *correspond {
 		fmt.Println()
 		runCorrespondence(ctx, inst)
@@ -91,6 +98,50 @@ func run() int {
 		return 0
 	}
 	return 1
+}
+
+// runBuggyEvidence decides the correspondence between the correct cutoff
+// ring and the buggy instance and prints the machine-extracted,
+// replay-confirmed distinguishing formula — the evidence that the buggy
+// family genuinely differs from the correct one, not just a failed spec.
+func runBuggyEvidence(ctx context.Context, buggy *podc.Ring) {
+	small := podc.RingCutoffSize
+	if buggy.Size() < small {
+		small = 2
+	}
+	correct, err := podc.BuildRing(small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringverify:", err)
+		return
+	}
+	ev, err := podc.ExplainRingCorrespondence(ctx, correct, buggy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringverify:", err)
+		return
+	}
+	if ev == nil {
+		fmt.Printf("correct M_%d and buggy M_%d indexed-correspond (unexpected)\n", small, buggy.Size())
+		return
+	}
+	fmt.Printf("correct M_%d and buggy M_%d DO NOT indexed-correspond\n", small, buggy.Size())
+	printEvidence(ev)
+}
+
+// printEvidence renders a correspondence evidence object.
+func printEvidence(ev *podc.Evidence) {
+	fmt.Printf("  failing pair:    (i=%d, i'=%d)\n", ev.Pair.I, ev.Pair.I2)
+	fmt.Printf("  reason:          %s\n", ev.Reason)
+	if ev.FormulaText != "" {
+		fmt.Printf("  distinguishing:  %s\n", ev.FormulaText)
+		fmt.Printf("  replay:          confirmed=%v (true on the small side's reduction, false on the large side's)\n", ev.Confirmed)
+	}
+	if len(ev.GamePath) > 0 {
+		fmt.Printf("  game path (%s): %v", ev.GameSide, ev.GamePath)
+		if ev.GameLoop >= 0 {
+			fmt.Printf(" (loops back to position %d)", ev.GameLoop)
+		}
+		fmt.Println()
+	}
 }
 
 func buildInstance(r int, buggy bool) (*podc.Ring, error) {
@@ -110,7 +161,7 @@ func runCorrespondence(ctx context.Context, inst *podc.Ring) {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return
 		}
-		res, err := podc.RingCorrespondence(ctx, smallInst, inst)
+		res, ev, err := podc.RingCorrespondenceWithEvidence(ctx, smallInst, inst)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringverify:", err)
 			return
@@ -120,6 +171,9 @@ func runCorrespondence(ctx context.Context, inst *podc.Ring) {
 			verdict = "indexed-correspond (Theorem 5 transfers restricted ICTL*)"
 		}
 		fmt.Printf("M_%d and M_%d %s\n", small, inst.Size(), verdict)
+		if ev != nil {
+			printEvidence(ev)
+		}
 	}
 	chi := podc.RingDistinguishingFormula()
 	verifier, err := podc.NewVerifier(ctx, inst.Structure())

@@ -1,0 +1,114 @@
+package bisim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+)
+
+// bigNonCorresponding builds a pair of structures large enough that
+// Explain takes visible time and guaranteed not to correspond: the second
+// carries an extra label class the first cannot match, reachable only
+// deep in the graph, so the refinement still has to process the whole
+// union.
+func bigNonCorresponding(t *testing.T, layers, width int) (m, m2 *kripke.Structure) {
+	t.Helper()
+	m = bigStructure(t, layers, width)
+	b := kripke.NewBuilder(fmt.Sprintf("big-poisoned-%dx%d", layers, width))
+	ids := make([][]kripke.State, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]kripke.State, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = b.AddState(kripke.P(fmt.Sprintf("p%d", w%3)))
+		}
+	}
+	for l := 0; l < layers; l++ {
+		next := (l + 1) % layers
+		for w := 0; w < width; w++ {
+			for k := 0; k < 4; k++ {
+				if err := b.AddTransition(ids[l][w], ids[next][(w+k)%width]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	poison := b.AddState(kripke.P("poison"))
+	if err := b.AddTransition(ids[layers-1][width-1], poison); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTransition(poison, poison); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInitial(ids[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	built, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, built
+}
+
+// The evidence extractor follows the same cancellation conventions as the
+// engines (cancel_test.go): a cancelled context stops it promptly at a
+// refinement batch boundary and no goroutines are left behind.
+
+// TestExplainAlreadyCancelled: a context that is already cancelled stops
+// Explain before it does any work.
+func TestExplainAlreadyCancelled(t *testing.T) {
+	m, m2 := bigNonCorresponding(t, 6, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bisim.Explain(ctx, m, m2, bisim.Options{}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExplainCancelledMidway: cancelling while Explain runs makes it
+// return promptly with the context's error and leaks no goroutines.
+func TestExplainCancelledMidway(t *testing.T) {
+	m, m2 := bigNonCorresponding(t, 10, 24)
+	ctx0 := context.Background()
+	res, err := bisim.Compute(ctx0, m, m2, bisim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corresponds() {
+		t.Fatal("test structures unexpectedly correspond; Explain would have nothing to do")
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := bisim.Explain(ctx, m, m2, bisim.Options{}, res)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled (or completion)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Explain did not return promptly after cancellation")
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestExplainDeadline: an expired deadline surfaces as DeadlineExceeded.
+func TestExplainDeadline(t *testing.T) {
+	m, m2 := bigNonCorresponding(t, 8, 16)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := bisim.Explain(ctx, m, m2, bisim.Options{}, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,118 @@
+package bisim_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+	"repro/internal/mc"
+)
+
+// randomEvidenceStructure builds a random total structure: n states, labels
+// drawn
+// from a small alphabet (so label classes are populated and refinement has
+// real work), every state with at least one successor.
+func randomEvidenceStructure(t *testing.T, rng *rand.Rand, name string, n int) *kripke.Structure {
+	t.Helper()
+	labels := []string{"p", "q", "r"}
+	b := kripke.NewBuilder(name)
+	for i := 0; i < n; i++ {
+		b.AddState(kripke.P(labels[rng.Intn(len(labels))]))
+	}
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(3)
+		for k := 0; k < deg; k++ {
+			if err := b.AddTransition(kripke.State(i), kripke.State(rng.Intn(n))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.SetInitial(0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.BuildPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEvidencePropertyRandomPairs is the paper's theorem run as a property
+// test: for randomized Kripke pairs, the decision procedure's verdict and
+// the evidence extractor must agree — inequivalence iff a distinguishing
+// formula exists — and every emitted formula must evaluate true on the
+// left evidence state and false on the right one under the independent
+// model checker.
+func TestEvidencePropertyRandomPairs(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260727))
+	const cases = 60
+	failures := 0
+	for i := 0; i < cases; i++ {
+		n := 3 + rng.Intn(8)
+		n2 := 3 + rng.Intn(8)
+		m := randomEvidenceStructure(t, rng, "rand-left", n)
+		m2 := randomEvidenceStructure(t, rng, "rand-right", n2)
+		opts := bisim.Options{}
+		res, err := bisim.Compute(ctx, m, m2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := bisim.Explain(ctx, m, m2, opts, res)
+		if err != nil {
+			t.Fatalf("case %d: Explain: %v", i, err)
+		}
+		if res.Corresponds() != (ev == nil) {
+			t.Fatalf("case %d: corresponds=%v but evidence=%v", i, res.Corresponds(), ev)
+		}
+		if ev == nil {
+			continue
+		}
+		failures++
+		if ev.Formula == nil {
+			t.Fatalf("case %d: evidence without formula (reason %s)", i, ev.Reason)
+		}
+		if err := mc.ReplayEvidence(ctx, ev); err != nil {
+			t.Fatalf("case %d: replay rejected evidence: %v\nevidence: %s", i, err, ev)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("property test never exercised a failing pair; enlarge the search space")
+	}
+	t.Logf("%d/%d random pairs failed to correspond; every one had confirmed evidence", failures, cases)
+}
+
+// TestEvidencePropertyInitialPairs focuses the same property on the
+// initial-state clause: whenever the initial states are reported
+// unrelated, the evidence formula must disagree exactly at the initial
+// states.
+func TestEvidencePropertyInitialPairs(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 40; i++ {
+		m := randomEvidenceStructure(t, rng, "init-left", 3+rng.Intn(6))
+		m2 := randomEvidenceStructure(t, rng, "init-right", 3+rng.Intn(6))
+		res, err := bisim.Compute(ctx, m, m2, bisim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InitialRelated {
+			continue
+		}
+		ev, err := bisim.Explain(ctx, m, m2, bisim.Options{}, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Reason != bisim.ReasonInitial {
+			t.Fatalf("case %d: reason = %s, want %s", i, ev.Reason, bisim.ReasonInitial)
+		}
+		if ev.LeftState != m.Initial() || ev.RightState != m2.Initial() {
+			t.Fatalf("case %d: evidence states (%d,%d), want the initial states", i, ev.LeftState, ev.RightState)
+		}
+		if err := mc.ReplayEvidence(ctx, ev); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}

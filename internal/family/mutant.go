@@ -1,0 +1,71 @@
+package family
+
+import (
+	"fmt"
+
+	"repro/internal/mutate"
+	"repro/internal/process"
+)
+
+// This file is the mutation-testing surface of the token-circulation
+// families: a catalog of deliberately broken rewrites of the
+// guarded-command template, and a constructor turning any token topology
+// into its mutated variant.  The harness in mutation_test.go builds each
+// topology from each mutation and asserts that the correspondence with the
+// correct cutoff instance *fails*, with evidence confirmed by the model
+// checker — proving the checker rejects buggy families rather than merely
+// accepting correct ones.
+
+// TokenMutations returns the mutation catalog for the token-circulation
+// template.  Every mutation breaks the protocol observably for every
+// topology built on the template:
+//
+//   - drop-critical-guard drops the token requirement from the
+//     enter-critical rule (an idle process may enter its critical
+//     section), so two processes can be critical at once and the O_i t_i
+//     invariant breaks;
+//   - swap-token-pass swaps the sender and receiver roles of every pass
+//     rule (the holder keeps the token, the neighbour is set idle), so
+//     the token never moves and no other process ever satisfies t_i;
+//   - skip-token-phase makes exit-critical skip the token-holding phase
+//     and return straight to idle, so the token vanishes from the network
+//     after the first critical section.
+func TokenMutations() []mutate.Mutation {
+	return []mutate.Mutation{
+		mutate.WeakenGuard("drop-critical-guard", "enter-critical",
+			func(v process.View, i int) bool { return v.Local(i) == tokenStateIdle }),
+		mutate.RewriteUpdatePrefix("swap-token-pass", "pass-",
+			func(u process.Update, v process.View, i int) process.Update {
+				swapped := make(map[int]string, len(u.Locals))
+				for p := range u.Locals {
+					if p == i {
+						swapped[p] = tokenStateToken
+					} else {
+						swapped[p] = tokenStateIdle
+					}
+				}
+				return process.Update{Locals: swapped, Shared: u.Shared}
+			}),
+		mutate.RewriteUpdate("skip-token-phase", "exit-critical",
+			func(u process.Update, v process.View, i int) process.Update {
+				return process.Update{Locals: map[int]string{i: tokenStateIdle}, Shared: u.Shared}
+			}),
+	}
+}
+
+// Mutate returns a variant of a token-circulation topology whose builds
+// apply the mutation to the guarded-command rules.  The variant shares the
+// base topology's sizes, vocabulary, specifications and index relation —
+// only the built instances differ — and its name records the mutation.
+// Hand-built topologies (the Section 5 ring) have no rule list to mutate
+// and are rejected.
+func Mutate(t Topology, m mutate.Mutation) (Topology, error) {
+	base, ok := t.(*tokenTopology)
+	if !ok {
+		return nil, fmt.Errorf("family: Mutate: topology %s is not built from guarded commands", t.Name())
+	}
+	mutant := *base
+	mutant.name = base.name + "+" + m.Name
+	mutant.mutation = &m
+	return &mutant, nil
+}

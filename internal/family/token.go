@@ -6,6 +6,7 @@ import (
 	"repro/internal/bisim"
 	"repro/internal/kripke"
 	"repro/internal/logic"
+	"repro/internal/mutate"
 	"repro/internal/process"
 	"repro/internal/ring"
 )
@@ -102,6 +103,10 @@ type tokenTopology struct {
 	// indices returns the IN relation (defaults to foldedIndexRelation
 	// when nil).
 	indices func(small, n int) []bisim.IndexPair
+	// mutation, when non-nil, rewrites the guarded-command rules before
+	// every build: the deliberately broken variants of the mutation-testing
+	// harness (see mutant.go).
+	mutation *mutate.Mutation
 }
 
 // Name implements Topology.
@@ -139,19 +144,14 @@ func (t *tokenTopology) IndexRelation(small, n int) []bisim.IndexPair {
 	return foldedIndexRelation(small, n)
 }
 
-// Build implements Topology: instantiate the token template n times and
-// compose it with the topology's pass rules through internal/process.
-func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
-	if err := t.ValidSize(n); err != nil {
-		return nil, fmt.Errorf("family: %w", err)
-	}
-	neigh := t.neighbors(n)
-	maxDeg := 0
-	for i := 1; i <= n; i++ {
-		if d := len(neigh(i)); d > maxDeg {
-			maxDeg = d
-		}
-	}
+// tokenRules returns the guarded-command rules of the token-circulation
+// template over a neighbourhood function: enter/exit the critical section,
+// plus one pass rule per neighbour rank (rule k moves the token from its
+// holder i to the k-th neighbour of i; rules are instantiated for every
+// process, so the guard re-derives i's neighbourhood).  The rule list is
+// the mutation surface of the family: the harness of mutant.go rewrites it
+// to produce deliberately broken variants.
+func tokenRules(neigh func(i int) []int, maxDeg int) []process.Rule {
 	rules := []process.Rule{
 		{
 			Name:  "enter-critical",
@@ -168,9 +168,6 @@ func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
 			},
 		},
 	}
-	// One pass rule per neighbour rank: rule k moves the token from its
-	// holder i to the k-th neighbour of i.  Rules are instantiated for
-	// every process, so the guard re-derives i's neighbourhood.
 	for k := 0; k < maxDeg; k++ {
 		k := k
 		rules = append(rules, process.Rule{
@@ -186,6 +183,31 @@ func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
 			},
 		})
 	}
+	return rules
+}
+
+// Build implements Topology: instantiate the token template n times and
+// compose it with the topology's pass rules through internal/process,
+// applying the topology's mutation (if any) to the rule list first.
+func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
+	if err := t.ValidSize(n); err != nil {
+		return nil, fmt.Errorf("family: %w", err)
+	}
+	neigh := t.neighbors(n)
+	maxDeg := 0
+	for i := 1; i <= n; i++ {
+		if d := len(neigh(i)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	rules := tokenRules(neigh, maxDeg)
+	if t.mutation != nil {
+		rewritten, err := t.mutation.Apply(rules)
+		if err != nil {
+			return nil, fmt.Errorf("family: %s: %w", t.name, err)
+		}
+		rules = rewritten
+	}
 	net := &process.Network{
 		Template: tokenTemplate(),
 		N:        n,
@@ -197,7 +219,17 @@ func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
 			return tokenStateIdle
 		},
 	}
-	return net.BuildKripke(process.BuildOptions{Name: fmt.Sprintf("%s[%d]", t.name, n)})
+	m, err := net.BuildKripke(process.BuildOptions{Name: fmt.Sprintf("%s[%d]", t.name, n)})
+	if err != nil {
+		return nil, err
+	}
+	if t.mutation != nil {
+		// A broken variant may deadlock (e.g. the token vanishes); give
+		// deadlock states self loops, as ring.BuildBuggy does, so CTL*
+		// semantics and the correspondence definition stay aligned.
+		m = m.MakeTotal()
+	}
+	return m, nil
 }
 
 // Star returns the star family: process 1 is the hub, processes 2..n are

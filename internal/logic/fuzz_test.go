@@ -1,0 +1,162 @@
+package logic
+
+import (
+	"testing"
+)
+
+// This file fuzzes the two directions of the formula pipeline:
+//
+//   - FuzzParsePrintRoundTrip drives the parser with arbitrary text; every
+//     input it accepts must print to text the parser accepts again, with a
+//     syntactically identical result (String is documented to be
+//     re-parseable);
+//   - FuzzConstructorPrintParse drives the *constructors* with a byte
+//     stream, building arbitrary well-formed ASTs — including the shapes a
+//     human rarely types, like nested W/R operators, n-ary conjunctions
+//     and "one" atoms — and demands the same print/parse fixed point.
+//
+// Both run in CI's short fuzz job alongside kripke's FuzzDecodeText.
+
+func FuzzParsePrintRoundTrip(f *testing.F) {
+	seeds := []string{
+		"true",
+		"p & q | !r",
+		"AG (d[i] -> AF c[i])",
+		"forall i . AG(d[i] -> A[d[i] U t[i]])",
+		"exists i . EF(d[i] & E[d[i] U (c[i] & !E[c[i] U (t[i] & n[i])])])",
+		"one t",
+		"A [p W q] <-> E [p R q]",
+		"E ((n[0] & t[0] & one t) U (!one t & n[0]))",
+		"p -> q -> r",
+		"X X p",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(input)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		printed := g.String()
+		g2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer produced unparseable text %q from input %q: %v", printed, input, err)
+		}
+		if !Equal(g, g2) {
+			t.Fatalf("round trip changed the formula: %q parsed as %s, reprinted as %s", input, g, g2)
+		}
+		// Printing must be a fixed point after one round.
+		if printed2 := g2.String(); printed2 != printed {
+			t.Fatalf("printing is not stable: %q vs %q", printed, printed2)
+		}
+	})
+}
+
+// formulaFromBytes deterministically decodes a byte stream into a formula
+// using the package constructors; every byte consumed narrows the shape,
+// and exhaustion bottoms out at an atom.
+func formulaFromBytes(data []byte, depth int) (Formula, []byte) {
+	atoms := []string{"p", "q", "r"}
+	idxProps := []string{"d", "t", "c"}
+	if len(data) == 0 || depth > 6 {
+		return Prop("p"), data
+	}
+	op := data[0] % 19
+	data = data[1:]
+	pick := func(names []string) string {
+		if len(data) == 0 {
+			return names[0]
+		}
+		n := names[int(data[0])%len(names)]
+		data = data[1:]
+		return n
+	}
+	var l, r Formula
+	switch op {
+	case 0:
+		return True(), data
+	case 1:
+		return False(), data
+	case 2:
+		return Prop(pick(atoms)), data
+	case 3:
+		return IdxProp(pick(idxProps), "i"), data
+	case 4:
+		idx := 0
+		if len(data) > 0 {
+			idx = int(data[0]) % 5
+			data = data[1:]
+		}
+		return InstProp(pick(idxProps), idx), data
+	case 5:
+		return ExactlyOne(pick(idxProps)), data
+	case 6:
+		l, data = formulaFromBytes(data, depth+1)
+		return Neg(l), data
+	case 7:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return Conj(l, r), data
+	case 8:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return Disj(l, r), data
+	case 9:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return Imp(l, r), data
+	case 10:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return Equiv(l, r), data
+	case 11:
+		l, data = formulaFromBytes(data, depth+1)
+		return ExistsPath(l), data
+	case 12:
+		l, data = formulaFromBytes(data, depth+1)
+		return ForallPaths(l), data
+	case 13:
+		l, data = formulaFromBytes(data, depth+1)
+		return Next(l), data
+	case 14:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return Until(l, r), data
+	case 15:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return Release(l, r), data
+	case 16:
+		l, data = formulaFromBytes(data, depth+1)
+		r, data = formulaFromBytes(data, depth+1)
+		return WeakUntil(l, r), data
+	case 17:
+		l, data = formulaFromBytes(data, depth+1)
+		return Eventually(l), data
+	default:
+		l, data = formulaFromBytes(data, depth+1)
+		return Always(l), data
+	}
+}
+
+func FuzzConstructorPrintParse(f *testing.F) {
+	f.Add([]byte{7, 2, 0, 14, 5, 1, 6, 3})
+	f.Add([]byte{10, 16, 4, 2, 15, 0, 1})
+	f.Add([]byte{12, 14, 3, 0, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, _ := formulaFromBytes(data, 0)
+		printed := g.String()
+		parsed, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("constructor-built formula printed unparseable text %q: %v", printed, err)
+		}
+		if !Equal(g, parsed) {
+			t.Fatalf("constructor round trip changed the formula: built %s, reparsed %s", g, parsed)
+		}
+		if Size(parsed) != Size(g) || Depth(parsed) != Depth(g) {
+			t.Fatalf("round trip changed the shape of %s (size %d->%d, depth %d->%d)",
+				g, Size(g), Size(parsed), Depth(g), Depth(parsed))
+		}
+	})
+}

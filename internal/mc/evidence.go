@@ -1,0 +1,195 @@
+package mc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// This file turns bare model-checking verdicts into evidence:
+//
+//   - Explain walks a verdict down to a decisive subformula and attaches
+//     the trace the existing witness machinery (witness.go) can produce for
+//     it — a witness path for a true existential verdict (EX/EF/EU/EG, the
+//     EG witness being a lasso), a counterexample path for a false
+//     universal one (AX/AG/AF/AU, the AF counterexample being a lasso);
+//   - ReplayEvidence re-checks a distinguishing formula produced by
+//     bisim.Explain on both structures, confirming it holds on one side
+//     and fails on the other.  This is the oracle the correspondence
+//     deciders and the mutation harness rely on: an emitted formula is
+//     never trusted, always replayed.
+
+// Explanation is an explained verdict: the formula, whether it holds at
+// the queried state, and — when the decisive subformula has a diagnosable
+// CTL shape — a concrete trace demonstrating the verdict.
+type Explanation struct {
+	// Formula is the queried formula (after instantiating indexed
+	// quantifiers over the structure's index set).
+	Formula logic.Formula
+	// Holds is the verdict at the queried state.
+	Holds bool
+	// Decisive is the subformula the trace demonstrates: the failing
+	// conjunct of a false conjunction, the satisfied disjunct of a true
+	// disjunction, and so on, hunted recursively.  It is nil when no
+	// diagnosable subformula exists.
+	Decisive logic.Formula
+	// DecisiveHolds is the verdict of Decisive at the queried state (the
+	// polarity can flip under negations).
+	DecisiveHolds bool
+	// Trace demonstrates Decisive: a witness when DecisiveHolds, a
+	// counterexample otherwise.  Nil when the decisive shape admits no
+	// single-path evidence (e.g. a true universal property).
+	Trace *Trace
+	// Note says in words what the trace shows (or why there is none).
+	Note string
+}
+
+// Explain reports whether f holds at state s and explains the verdict:
+// it recurses through boolean structure and instantiated quantifiers to a
+// decisive subformula and produces the witness or counterexample trace the
+// CTL machinery supports.  The verdict itself is exactly HoldsAt's.
+func (c *Checker) Explain(ctx context.Context, f logic.Formula, s kripke.State) (*Explanation, error) {
+	if f == nil {
+		return nil, fmt.Errorf("mc: nil formula")
+	}
+	inst := f
+	if logic.HasIndexedQuantifier(f) || len(logic.FreeIndexVars(f)) > 0 {
+		g, err := logic.Instantiate(f, c.m.IndexValues())
+		if err != nil {
+			return nil, err
+		}
+		inst = g
+	}
+	holds, err := c.HoldsAt(ctx, inst, s)
+	if err != nil {
+		return nil, err
+	}
+	out := &Explanation{Formula: inst, Holds: holds}
+	if err := c.diagnose(ctx, inst, s, holds, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// diagnose descends to a decisive subformula and attaches its trace.
+func (c *Checker) diagnose(ctx context.Context, f logic.Formula, s kripke.State, holds bool, out *Explanation) error {
+	switch node := f.(type) {
+	case *logic.Not:
+		return c.diagnose(ctx, node.F, s, !holds, out)
+	case *logic.And:
+		if !holds {
+			// Some conjunct fails; explain the first one that does.
+			for _, g := range node.Fs {
+				gh, err := c.HoldsAt(ctx, g, s)
+				if err != nil {
+					return err
+				}
+				if !gh {
+					return c.diagnose(ctx, g, s, false, out)
+				}
+			}
+		}
+		return c.setNote(f, holds, out, "every conjunct holds; no single decisive trace")
+	case *logic.Or:
+		if holds {
+			for _, g := range node.Fs {
+				gh, err := c.HoldsAt(ctx, g, s)
+				if err != nil {
+					return err
+				}
+				if gh {
+					return c.diagnose(ctx, g, s, true, out)
+				}
+			}
+		}
+		return c.setNote(f, holds, out, "every disjunct fails; no single decisive trace")
+	case *logic.Implies:
+		if !holds {
+			// The premise holds and the conclusion fails; the conclusion's
+			// failure is the decisive fact.
+			return c.diagnose(ctx, node.R, s, false, out)
+		}
+		return c.setNote(f, holds, out, "implication holds; no single decisive trace")
+	case *logic.A:
+		if !holds {
+			tr, err := c.Counterexample(ctx, f, s)
+			if err != nil {
+				// A cancelled or expired query must abort, not degrade into
+				// a "no counterexample" note.
+				if cerr := c.cancelled(); cerr != nil {
+					return cerr
+				}
+				return c.setNote(f, holds, out, "universal property fails but its shape has no path counterexample")
+			}
+			out.Decisive, out.DecisiveHolds, out.Trace = f, false, tr
+			out.Note = "counterexample path: a computation violating the universal property"
+			return nil
+		}
+		return c.setNote(f, holds, out, "universal property holds on every path; no single-path witness")
+	case *logic.E:
+		if holds {
+			tr, err := c.Witness(ctx, f, s)
+			if err != nil {
+				if cerr := c.cancelled(); cerr != nil {
+					return cerr
+				}
+				return c.setNote(f, holds, out, "existential property holds but its shape has no path witness")
+			}
+			out.Decisive, out.DecisiveHolds, out.Trace = f, true, tr
+			out.Note = "witness path: a computation demonstrating the existential property"
+			return nil
+		}
+		return c.setNote(f, holds, out, "existential property fails on every path; no single-path counterexample")
+	case *logic.Const, *logic.Atom, *logic.InstAtom, *logic.One:
+		out.Decisive, out.DecisiveHolds = f, holds
+		out.Trace = &Trace{States: []kripke.State{s}, LoopStart: -1}
+		out.Note = "the verdict is decided by the state's own label"
+		return nil
+	default:
+		return c.setNote(f, holds, out, "no diagnosable subformula shape")
+	}
+}
+
+func (c *Checker) setNote(f logic.Formula, holds bool, out *Explanation, note string) error {
+	out.Decisive, out.DecisiveHolds = f, holds
+	out.Note = note
+	return nil
+}
+
+// ReplayEvidence re-checks distinguishing evidence produced by
+// bisim.Explain (or ExplainIndexed): the formula must hold at the
+// evidence's left state and fail at its right state.  It returns nil when
+// both replays confirm, and an error naming the side that disagreed
+// otherwise — in which case the evidence (or the engine that produced it)
+// is wrong, never the caller.
+func ReplayEvidence(ctx context.Context, ev *bisim.Evidence) error {
+	if ev == nil {
+		return fmt.Errorf("mc: ReplayEvidence: nil evidence")
+	}
+	if ev.Formula == nil {
+		return fmt.Errorf("mc: ReplayEvidence: evidence carries no formula (reason %s)", ev.Reason)
+	}
+	if ev.Left == nil || ev.Right == nil {
+		return fmt.Errorf("mc: ReplayEvidence: evidence names no structures")
+	}
+	leftHolds, err := New(ev.Left).HoldsAt(ctx, ev.Formula, ev.LeftState)
+	if err != nil {
+		return fmt.Errorf("mc: ReplayEvidence: left replay: %w", err)
+	}
+	rightHolds, err := New(ev.Right).HoldsAt(ctx, ev.Formula, ev.RightState)
+	if err != nil {
+		return fmt.Errorf("mc: ReplayEvidence: right replay: %w", err)
+	}
+	if !leftHolds {
+		return fmt.Errorf("mc: ReplayEvidence: %s is false at %s state %d (expected true)",
+			ev.Formula, ev.Left.Name(), ev.LeftState)
+	}
+	if rightHolds {
+		return fmt.Errorf("mc: ReplayEvidence: %s is true at %s state %d (expected false)",
+			ev.Formula, ev.Right.Name(), ev.RightState)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package mc
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+	"repro/internal/logic"
+)
+
+// TestExplainUniversalFailure: a false AG yields a counterexample trace to
+// the reachable violating state.
+func TestExplainUniversalFailure(t *testing.T) {
+	m := buildLine(t) // 0{p} -> 1{q} -> 2{r} -> 2
+	c := New(m)
+	ctx := context.Background()
+	ex, err := c.Explain(ctx, logic.AG(logic.Prop("p")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Holds {
+		t.Fatal("AG p should fail on the line")
+	}
+	if ex.Trace == nil || len(ex.Trace.States) < 2 {
+		t.Fatalf("expected a counterexample path, got %v", ex.Trace)
+	}
+	last := ex.Trace.States[len(ex.Trace.States)-1]
+	if m.Holds(last, kripke.P("p")) {
+		t.Errorf("counterexample ends at a p-state: %s", ex.Trace.Format(m))
+	}
+}
+
+// TestExplainLivenessLasso: a false AF yields a lasso counterexample (the
+// infinite path avoiding the goal).
+func TestExplainLivenessLasso(t *testing.T) {
+	b := kripke.NewBuilder("avoid")
+	s0 := b.AddState(kripke.P("p"))
+	s1 := b.AddState(kripke.P("p"))
+	s2 := b.AddState(kripke.P("goal"))
+	mustEdges(t, b, [][2]kripke.State{{s0, s1}, {s1, s0}, {s0, s2}, {s2, s2}})
+	mustInitial(t, b, s0)
+	m := mustBuild(t, b)
+	c := New(m)
+	ex, err := c.Explain(context.Background(), logic.AF(logic.Prop("goal")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Holds {
+		t.Fatal("AF goal should fail (the 0<->1 loop avoids it)")
+	}
+	if ex.Trace == nil || !ex.Trace.IsLasso() {
+		t.Fatalf("liveness counterexample must be a lasso, got %v", ex.Trace)
+	}
+}
+
+// TestExplainExistentialWitness: a true EU yields a witness path and a true
+// EG a lasso witness.
+func TestExplainExistentialWitness(t *testing.T) {
+	m := buildLine(t)
+	c := New(m)
+	ctx := context.Background()
+	ex, err := c.Explain(ctx, logic.EU(logic.Prop("p"), logic.Prop("q")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Holds || ex.Trace == nil {
+		t.Fatalf("E[p U q] should hold with a witness, got holds=%v trace=%v", ex.Holds, ex.Trace)
+	}
+	ex, err = c.Explain(ctx, logic.EF(logic.EG(logic.Prop("r"))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Holds || ex.Trace == nil {
+		t.Fatalf("EF EG r should hold with a witness, got holds=%v trace=%v", ex.Holds, ex.Trace)
+	}
+}
+
+// TestExplainBooleanDescent: the explanation descends through conjunctions,
+// negations and instantiated indexed quantifiers to the decisive conjunct.
+func TestExplainBooleanDescent(t *testing.T) {
+	m := buildLine(t)
+	c := New(m)
+	ctx := context.Background()
+	f := logic.Conj(logic.AG(logic.Imp(logic.Prop("q"), logic.Prop("q"))), logic.AG(logic.Neg(logic.Prop("r"))))
+	ex, err := c.Explain(ctx, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Holds {
+		t.Fatal("conjunction should fail (r is reachable)")
+	}
+	if ex.Decisive == nil || ex.Trace == nil {
+		t.Fatalf("expected the failing conjunct with a trace, got decisive=%v trace=%v", ex.Decisive, ex.Trace)
+	}
+	if _, ok := ex.Decisive.(*logic.A); !ok {
+		t.Errorf("decisive subformula = %s, want the failing AG conjunct", ex.Decisive)
+	}
+}
+
+// TestExplainAtom: atomic verdicts carry the state itself as the trace.
+func TestExplainAtom(t *testing.T) {
+	m := buildLine(t)
+	c := New(m)
+	ex, err := c.Explain(context.Background(), logic.Prop("p"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Holds || ex.Trace == nil || len(ex.Trace.States) != 1 {
+		t.Fatalf("atom explanation should pin the state, got %+v", ex)
+	}
+}
+
+// TestReplayEvidenceRejectsWrongFormula: the replay oracle rejects
+// evidence whose formula does not separate the named states.
+func TestReplayEvidenceRejectsWrongFormula(t *testing.T) {
+	m := buildLine(t)
+	ctx := context.Background()
+	bogus := &bisim.Evidence{
+		Reason: bisim.ReasonInitial,
+		Left:   m, Right: m,
+		Formula:   logic.Prop("p"), // true at 0 on both sides
+		LeftState: 0, RightState: 0,
+	}
+	if err := ReplayEvidence(ctx, bogus); err == nil {
+		t.Fatal("replay accepted evidence that separates nothing")
+	}
+	if err := ReplayEvidence(ctx, nil); err == nil {
+		t.Fatal("replay accepted nil evidence")
+	}
+	if err := ReplayEvidence(ctx, &bisim.Evidence{Reason: bisim.ReasonIndexRelation}); err == nil {
+		t.Fatal("replay accepted formula-free evidence")
+	}
+}

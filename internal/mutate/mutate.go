@@ -1,0 +1,139 @@
+// Package mutate implements systematic mutation of guarded-command
+// protocols: small, named, deliberately wrong rewrites of a rule list that
+// a correct verifier must be able to tell apart from the original.
+//
+// The package exists to test the tester.  The correspondence machinery of
+// this repository is only trustworthy if it rejects broken protocol
+// families, not just accepts correct ones; the mutation harness
+// (internal/family's mutation tests) builds each topology's instance from
+// a mutated rule set, asserts that the correspondence with the correct
+// cutoff instance fails, and demands model-checker-confirmed evidence for
+// the failure.  A mutation that survives — correspondence still holds —
+// would mean the checker cannot see the difference, which is exactly the
+// kind of blind spot mutation testing is designed to expose.
+//
+// Mutations are expressed as combinators over internal/process rule lists
+// (weaken a guard, rewrite an update, delete a rule), so any
+// guarded-command family can reuse them; the token-circulation catalog
+// lives with the families in internal/family.
+package mutate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/process"
+)
+
+// Mutation is one named, deliberately wrong rewrite of a rule list.
+type Mutation struct {
+	// Name identifies the mutation in reports (e.g. "drop-critical-guard").
+	Name string
+	// Description says what was broken, for humans.
+	Description string
+	// apply rewrites the rules; it reports an error when the mutation's
+	// target rule does not exist (a typo in the harness, not a verdict).
+	apply func(rules []process.Rule) ([]process.Rule, error)
+}
+
+// Apply rewrites a copy of the rule list.  The input is never modified.
+func (m Mutation) Apply(rules []process.Rule) ([]process.Rule, error) {
+	if m.apply == nil {
+		return nil, fmt.Errorf("mutate: mutation %q has no rewrite", m.Name)
+	}
+	cp := make([]process.Rule, len(rules))
+	copy(cp, rules)
+	out, err := m.apply(cp)
+	if err != nil {
+		return nil, fmt.Errorf("mutate: %s: %w", m.Name, err)
+	}
+	return out, nil
+}
+
+// String returns the mutation's name.
+func (m Mutation) String() string { return m.Name }
+
+// WeakenGuard returns a mutation that ORs the named rule's guard with
+// extra, so the rule fires in strictly more situations — the classic
+// "dropped a guard conjunct" fault.
+func WeakenGuard(name, rule string, extra func(v process.View, i int) bool) Mutation {
+	return Mutation{
+		Name:        name,
+		Description: fmt.Sprintf("weaken the guard of %q", rule),
+		apply: forRules(exactly(rule), func(r process.Rule) process.Rule {
+			orig := r.Guard
+			r.Guard = func(v process.View, i int) bool { return orig(v, i) || extra(v, i) }
+			return r
+		}),
+	}
+}
+
+// RewriteUpdate returns a mutation that post-processes the named rule's
+// update — swapping roles, dropping a phase, corrupting a target.
+func RewriteUpdate(name, rule string, f func(u process.Update, v process.View, i int) process.Update) Mutation {
+	return rewriteUpdateWhere(name, fmt.Sprintf("rewrite the update of %q", rule), exactly(rule), f)
+}
+
+// RewriteUpdatePrefix is RewriteUpdate for every rule whose name starts
+// with the given prefix (e.g. all "pass-k" rules of a token family).
+func RewriteUpdatePrefix(name, prefix string, f func(u process.Update, v process.View, i int) process.Update) Mutation {
+	return rewriteUpdateWhere(name, fmt.Sprintf("rewrite the updates of %q rules", prefix+"*"),
+		func(rn string) bool { return strings.HasPrefix(rn, prefix) }, f)
+}
+
+// DeleteRule returns a mutation that removes the named rule entirely.
+func DeleteRule(name, rule string) Mutation {
+	return Mutation{
+		Name:        name,
+		Description: fmt.Sprintf("delete rule %q", rule),
+		apply: func(rules []process.Rule) ([]process.Rule, error) {
+			out := rules[:0]
+			found := false
+			for _, r := range rules {
+				if r.Name == rule {
+					found = true
+					continue
+				}
+				out = append(out, r)
+			}
+			if !found {
+				return nil, fmt.Errorf("no rule named %q", rule)
+			}
+			return out, nil
+		},
+	}
+}
+
+func exactly(rule string) func(string) bool {
+	return func(rn string) bool { return rn == rule }
+}
+
+func rewriteUpdateWhere(name, desc string, match func(string) bool, f func(u process.Update, v process.View, i int) process.Update) Mutation {
+	return Mutation{
+		Name:        name,
+		Description: desc,
+		apply: forRules(match, func(r process.Rule) process.Rule {
+			orig := r.Apply
+			r.Apply = func(v process.View, i int) process.Update { return f(orig(v, i), v, i) }
+			return r
+		}),
+	}
+}
+
+// forRules applies rewrite to every rule whose name matches, erroring when
+// none does.
+func forRules(match func(string) bool, rewrite func(process.Rule) process.Rule) func([]process.Rule) ([]process.Rule, error) {
+	return func(rules []process.Rule) ([]process.Rule, error) {
+		matched := false
+		for i, r := range rules {
+			if match(r.Name) {
+				matched = true
+				rules[i] = rewrite(r)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no rule matched")
+		}
+		return rules, nil
+	}
+}

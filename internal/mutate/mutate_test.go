@@ -1,0 +1,92 @@
+package mutate
+
+import (
+	"testing"
+
+	"repro/internal/process"
+)
+
+func toyRules() []process.Rule {
+	return []process.Rule{
+		{
+			Name:  "go",
+			Guard: func(v process.View, i int) bool { return false },
+			Apply: func(v process.View, i int) process.Update {
+				return process.Update{Locals: map[int]string{i: "a", i + 1: "b"}}
+			},
+		},
+		{
+			Name:  "go-2",
+			Guard: func(v process.View, i int) bool { return true },
+			Apply: func(v process.View, i int) process.Update { return process.Update{} },
+		},
+	}
+}
+
+// TestWeakenGuard: the mutated guard fires where the original refused, the
+// original rule list is untouched, and missing rule names error.
+func TestWeakenGuard(t *testing.T) {
+	rules := toyRules()
+	out, err := WeakenGuard("w", "go", func(v process.View, i int) bool { return true }).Apply(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Guard(process.View{}, 1) {
+		t.Error("weakened guard should fire")
+	}
+	if rules[0].Guard(process.View{}, 1) {
+		t.Error("original rule list was modified")
+	}
+	if _, err := WeakenGuard("w", "missing", nil).Apply(rules); err == nil {
+		t.Error("missing rule name accepted")
+	}
+}
+
+// TestRewriteUpdate: exact-name rewrites touch one rule, prefix rewrites
+// every matching rule, and unmatched prefixes error.
+func TestRewriteUpdate(t *testing.T) {
+	rules := toyRules()
+	swap := func(u process.Update, v process.View, i int) process.Update {
+		return process.Update{Locals: map[int]string{i: "z"}}
+	}
+	out, err := RewriteUpdate("r", "go", swap).Apply(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Apply(process.View{}, 1).Locals[1]; got != "z" {
+		t.Errorf("rewritten update gave %q, want z", got)
+	}
+	if got := rules[0].Apply(process.View{}, 1).Locals[1]; got != "a" {
+		t.Errorf("original update changed to %q", got)
+	}
+	if _, err := RewriteUpdatePrefix("r", "go", swap).Apply(rules); err != nil {
+		t.Errorf("prefix matching both rules failed: %v", err)
+	}
+	if _, err := RewriteUpdatePrefix("r", "nope-", swap).Apply(rules); err == nil {
+		t.Error("prefix matching nothing accepted")
+	}
+}
+
+// TestDeleteRule: deletion removes exactly the named rule.
+func TestDeleteRule(t *testing.T) {
+	out, err := DeleteRule("d", "go").Apply(toyRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Name != "go-2" {
+		t.Errorf("deletion left %v", out)
+	}
+	if _, err := DeleteRule("d", "missing").Apply(toyRules()); err == nil {
+		t.Error("missing rule name accepted")
+	}
+}
+
+// TestMutationWithoutRewrite: the zero Mutation reports its misuse.
+func TestMutationWithoutRewrite(t *testing.T) {
+	if _, err := (Mutation{Name: "empty"}).Apply(toyRules()); err == nil {
+		t.Error("mutation without a rewrite accepted")
+	}
+	if got := (Mutation{Name: "n"}).String(); got != "n" {
+		t.Errorf("String() = %q", got)
+	}
+}

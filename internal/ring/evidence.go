@@ -1,0 +1,57 @@
+package ring
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bisim"
+	"repro/internal/mc"
+)
+
+// This file threads the evidence extractor through the ring-specific
+// correspondence decider: when two ring instances fail to indexed-
+// correspond — the paper's M_2 against any larger ring, or a BuildBuggy
+// variant against a correct one — the decision names the offending index
+// pair and emits the distinguishing restricted-logic formula over its
+// reductions, replayed through the model checker before it is returned.
+// It is the machine-found counterpart of the hand-derived
+// DistinguishingFormula of correspond.go.
+
+// DecideCorrespondenceWithEvidence decides the indexed correspondence
+// between two explicitly built instances exactly as DecideCorrespondence
+// and, on failure, additionally extracts the distinguishing evidence for
+// the first failing index pair.  The returned evidence is nil exactly when
+// the instances correspond; its formula has been replayed through
+// mc.Checker (true on the small side's reduction, false on the large
+// side's) — a replay mismatch is an error, never silently returned.
+func DecideCorrespondenceWithEvidence(ctx context.Context, small, large *Instance) (*bisim.IndexedResult, *bisim.Evidence, bisim.IndexPair, error) {
+	res, err := DecideCorrespondence(ctx, small, large)
+	if err != nil {
+		return nil, nil, bisim.IndexPair{}, err
+	}
+	ev, pair, err := ExplainCorrespondence(ctx, small, large, res)
+	if err != nil {
+		return nil, nil, pair, err
+	}
+	return res, ev, pair, nil
+}
+
+// ExplainCorrespondence extracts confirmed distinguishing evidence from a
+// failed correspondence previously decided between the two instances (res
+// must come from DecideCorrespondence for the same instances).  It returns
+// nil evidence when res corresponds.
+func ExplainCorrespondence(ctx context.Context, small, large *Instance, res *bisim.IndexedResult) (*bisim.Evidence, bisim.IndexPair, error) {
+	if res == nil || res.Corresponds() {
+		return nil, bisim.IndexPair{}, nil
+	}
+	ev, pair, err := bisim.ExplainIndexed(ctx, small.M, large.M, res, CorrespondOptions())
+	if err != nil {
+		return nil, pair, fmt.Errorf("ring: explaining failed correspondence M_%d vs M_%d: %w", small.R, large.R, err)
+	}
+	if ev != nil && ev.Formula != nil {
+		if err := mc.ReplayEvidence(ctx, ev); err != nil {
+			return nil, pair, fmt.Errorf("ring: evidence for M_%d vs M_%d rejected by replay: %w", small.R, large.R, err)
+		}
+	}
+	return ev, pair, nil
+}

@@ -15,6 +15,7 @@ import (
 // must be reached.
 type Correspondence struct {
 	res *bisim.Result
+	ev  *Evidence
 }
 
 // Correspond computes the maximal correspondence between left and right.
@@ -31,7 +32,30 @@ func Correspond(ctx context.Context, left, right *Structure, opts ...Option) (*C
 	if err != nil {
 		return nil, err
 	}
-	return &Correspondence{res: res}, nil
+	out := &Correspondence{res: res}
+	if cfg.evidence && !res.Corresponds() {
+		raw, err := bisim.Explain(ctx, left.raw(), right.raw(), cfg.bisimOptions(), res)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := evidenceFromBisim(ctx, raw, bisim.IndexPair{})
+		if err != nil {
+			return nil, err
+		}
+		out.ev = ev
+	}
+	return out, nil
+}
+
+// Evidence returns the machine-checked explanation of a failed
+// correspondence: the distinguishing formula, the states it separates and
+// the game path.  It is non-nil exactly when the correspondence was
+// computed with WithEvidence and does not hold.
+func (c *Correspondence) Evidence() *Evidence {
+	if c == nil {
+		return nil
+	}
+	return c.ev
 }
 
 // Corresponds reports whether the structures correspond: initial states
@@ -115,6 +139,7 @@ func indexPairsFromRaw(in []bisim.IndexPair) []IndexPair {
 type IndexedCorrespondence struct {
 	res *bisim.IndexedResult
 	in  []IndexPair
+	ev  *Evidence
 }
 
 // IndexedCorrespond decides the indexed correspondence of Section 4 between
@@ -132,7 +157,30 @@ func IndexedCorrespond(ctx context.Context, left, right *Structure, in []IndexPa
 	if err != nil {
 		return nil, err
 	}
-	return &IndexedCorrespondence{res: res, in: append([]IndexPair(nil), in...)}, nil
+	out := &IndexedCorrespondence{res: res, in: append([]IndexPair(nil), in...)}
+	if cfg.evidence && !res.Corresponds() {
+		raw, pair, err := bisim.ExplainIndexed(ctx, left.raw(), right.raw(), res, cfg.bisimOptions())
+		if err != nil {
+			return nil, err
+		}
+		ev, err := evidenceFromBisim(ctx, raw, pair)
+		if err != nil {
+			return nil, err
+		}
+		out.ev = ev
+	}
+	return out, nil
+}
+
+// Evidence returns the machine-checked explanation of a failed indexed
+// correspondence: the offending index pair, the distinguishing formula
+// over its reductions and the game path.  It is non-nil exactly when the
+// correspondence was computed with WithEvidence and does not hold.
+func (c *IndexedCorrespondence) Evidence() *Evidence {
+	if c == nil {
+		return nil
+	}
+	return c.ev
 }
 
 // DefaultIndexRelation builds the index relation the paper uses for the

@@ -21,6 +21,7 @@ type config struct {
 	minimize      bool
 	atoms         []string
 	reachableOnly bool
+	evidence      bool
 
 	// family verification knobs (VerifyFamily).
 	smallSize            int
@@ -127,6 +128,17 @@ func WithCorrespondenceSizes(sizes ...int) Option {
 // outside the transferable fragment.
 func WithoutRestrictionCheck() Option {
 	return func(c *config) { c.skipRestrictionCheck = true }
+}
+
+// WithEvidence makes correspondence operations extract machine-checked
+// evidence on failure: the returned Correspondence (or
+// IndexedCorrespondence) carries a distinguishing CTL* (no nexttime)
+// formula — true on one side, false on the other, replayed through the
+// model checker before it is handed out — plus the offending index pair
+// and a game path.  Evidence extraction runs only after a verdict of "do
+// not correspond", so successful decisions pay nothing.
+func WithEvidence() Option {
+	return func(c *config) { c.evidence = true }
 }
 
 // WithTopology selects the family an operation works on: DecideCorrespondence

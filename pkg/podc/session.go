@@ -209,6 +209,37 @@ func (s *Session) RingCorrespondence(ctx context.Context, small, large int) (*In
 	return s.Correspondence(ctx, RingTopology(), small, large)
 }
 
+// CorrespondenceEvidence returns the machine-checked evidence for a failed
+// correspondence between M_small and M_large of the topology: the failing
+// index pair, the distinguishing formula over its reductions (replayed
+// through the model checker) and the game path.  It returns nil when the
+// instances correspond.  The underlying correspondence and instances are
+// served from (and populate) the session caches; only the evidence
+// extraction itself is recomputed per call.
+func (s *Session) CorrespondenceEvidence(ctx context.Context, topo Topology, small, large int) (*Evidence, error) {
+	corr, err := s.Correspondence(ctx, topo, small, large)
+	if err != nil {
+		return nil, err
+	}
+	if corr.Corresponds() {
+		return nil, nil
+	}
+	t := topo.raw()
+	sm, err := s.topologyInstance(ctx, t, small)
+	if err != nil {
+		return nil, err
+	}
+	lg, err := s.topologyInstance(ctx, t, large)
+	if err != nil {
+		return nil, err
+	}
+	fev, err := family.ExplainBuilt(ctx, t, sm.raw(), small, lg.raw(), large, corr.res)
+	if err != nil {
+		return nil, err
+	}
+	return evidenceFromFamily(fev), nil
+}
+
 // sessionFamily adapts a topology to the Family interface with instance
 // builds served from the session cache.
 func (s *Session) sessionFamily(ctx context.Context, t family.Topology) Family {

@@ -168,14 +168,22 @@ func DecideCorrespondence(ctx context.Context, small, large int, opts ...Option)
 	if small > large {
 		return nil, fmt.Errorf("podc: DecideCorrespondence: need small <= large, got %d > %d", small, large)
 	}
+	out := &IndexedCorrespondence{in: indexPairsFromRaw(topo.IndexRelation(small, large))}
+	if cfg.evidence {
+		res, fev, err := family.DecideWithEvidence(ctx, topo, small, large)
+		if err != nil {
+			return nil, err
+		}
+		out.res = res
+		out.ev = evidenceFromFamily(fev)
+		return out, nil
+	}
 	res, err := family.DecideCorrespondence(ctx, topo, small, large)
 	if err != nil {
 		return nil, err
 	}
-	return &IndexedCorrespondence{
-		res: res,
-		in:  indexPairsFromRaw(topo.IndexRelation(small, large)),
-	}, nil
+	out.res = res
+	return out, nil
 }
 
 // raw returns the wrapped internal topology, defaulting to the ring for
