@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/bisim"
 	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/family"
 	"repro/internal/logic"
 	"repro/internal/mc"
 	"repro/internal/paperfig"
@@ -165,6 +167,81 @@ func BenchmarkStateExplosionBuild(b *testing.B) {
 				b.ReportMetric(float64(states)*float64(b.N)/secs, "states/sec")
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The parallel packed-BFS construction engine and the symmetry quotients
+// (DESIGN.md §7).  BenchmarkParallelBuild is the successor series to
+// BenchmarkStateExplosionBuild: the same labelled ring instances at the
+// same sizes, built by the level-synchronised engine, so the two series
+// compare directly.  (Labelled throughput in states/sec necessarily falls
+// as r grows — every state carries ~r indexed propositions, so the label
+// work per state is itself linear in r; the raw packed series below is the
+// size-independent measure of the construction engine.)
+// BenchmarkPackedExplore times the raw-space regime the big sweep sizes
+// use (codes + CSR transitions, no labels) up to the million-state r = 16.
+// The r = 18 and r = 20 spaces are built by the sweep
+// (cmd/experiments -sweep default), not benchmarked here: a 4.7M/21M-state
+// construction is a one-shot multi-minute run, too slow to repeat under
+// benchtime and page-fault-bound rather than engine-bound (DESIGN.md §7).
+// ---------------------------------------------------------------------------
+
+func BenchmarkParallelBuild(b *testing.B) {
+	for _, r := range []int{4, 8, 12, 14} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				inst, err := ring.BuildWith(context.Background(), r, ring.BuildOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = inst.M.NumStates()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(states)*float64(b.N)/secs, "states/sec")
+			}
+		})
+	}
+}
+
+func BenchmarkPackedExplore(b *testing.B) {
+	for _, r := range []int{4, 8, 12, 16} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				sp, err := explore.Explore(context.Background(), ring.PackedDef(r), explore.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = sp.NumStates()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(states)*float64(b.N)/secs, "states/sec")
+			}
+		})
+	}
+}
+
+func BenchmarkSymmetryQuotient(b *testing.B) {
+	// The r = 12 ring: 49 152 states collapse to 4 096 orbit
+	// representatives under the cyclic rotation group.
+	const r = 12
+	b.ReportAllocs()
+	reps := 0
+	for i := 0; i < b.N; i++ {
+		q, err := family.BuildQuotient(context.Background(), family.Ring(), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps = q.NumReps()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(reps)*float64(b.N)/secs, "orbits/sec")
 	}
 }
 

@@ -13,13 +13,18 @@
 //	experiments -stream          # print each table the moment it finishes
 //	experiments -workers 2       # cap the worker pool
 //	experiments -sweep 4,6,8,10  # decide each topology's cutoff correspondence per size
-//	experiments -sweep default   # the default battery: sizes 4..14, ring r=14 and the 3×4 torus included
+//	experiments -sweep default   # the default battery: sizes 4..20, up to the 21M-state r=20 ring
 //	experiments -sweep 6,8 -topologies star,torus   # sweep selected topologies only
+//	experiments -sweep default -build-workers 4     # cap the construction pool
 //	experiments -sweep default -cpuprofile sweep.prof   # profile the run
 //
 // A sweep covers every built-in topology (ring, star, line, tree, torus,
 // torus3) by default; sizes a topology cannot instantiate (e.g. odd sizes
-// of the 2-row torus) are skipped for that topology with a note.
+// of the 2-row torus) are skipped for that topology with a note.  Instances
+// are constructed by the parallel packed-BFS engine (byte-identical to the
+// sequential builds); sizes whose spaces exceed the decide budget come back
+// as build-only rows carrying the raw-space counts, the construction
+// throughput and the symmetry quotient's orbit count.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles of whatever
 // workload was selected, so perf work on the engines needs no code edits.
@@ -49,6 +54,7 @@ func run() int {
 	only := flag.String("only", "", "run only the experiment with this identifier (e.g. E1, E6, E7)")
 	stream := flag.Bool("stream", false, "print each table as soon as its experiment finishes (completion order)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	buildWorkers := flag.Int("build-workers", 0, "parallel packed-BFS construction pool size for sweeps and instance builds (0 = one per CPU)")
 	sweep := flag.String("sweep", "", `comma separated sizes ("default" for the standard battery): decide each topology's cutoff correspondence for each size, streaming results`)
 	topologies := flag.String("topologies", "all", `comma separated topologies to sweep ("all" or a subset of `+strings.Join(podc.TopologyNames(), ",")+`)`)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -86,7 +92,7 @@ func run() int {
 		}()
 	}
 
-	session := podc.NewSession(podc.WithWorkers(*workers))
+	session := podc.NewSession(podc.WithWorkers(*workers), podc.WithParallelBuild(*buildWorkers))
 	render := func(tbl *podc.Table) {
 		switch {
 		case *jsonOut:
@@ -223,8 +229,12 @@ func runSweep(ctx context.Context, session *podc.Session, spec, topoSpec string,
 				}
 				continue
 			}
-			fmt.Printf("%-6s n=%-4d states=%-8d corresponds=%-5v max degree=%-3d build=%-12s decide=%s\n",
-				row.Topology, row.R, row.States, row.Corresponds, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000))
+			verdict := fmt.Sprintf("%v", row.Corresponds)
+			if row.BuildOnly {
+				verdict = fmt.Sprintf("build-only (orbits=%d)", row.QuotientStates)
+			}
+			fmt.Printf("%-6s n=%-4d states=%-8d corresponds=%-5s max degree=%-3d build=%-12s decide=%s\n",
+				row.Topology, row.R, row.States, verdict, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000))
 		}
 	}
 	if failed {

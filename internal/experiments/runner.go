@@ -55,6 +55,30 @@ type Runner struct {
 	// Workers is the pool size; zero or negative means one worker per
 	// available CPU.
 	Workers int
+	// BuildWorkers caps the parallel packed-BFS construction pool the
+	// sweeps use for topologies with a packed definition (zero or
+	// negative: one construction worker per available CPU).  The built
+	// instances are identical for every worker count.
+	BuildWorkers int
+	// DecideStateBudget bounds the instance size (in states) for which a
+	// sweep decides the cutoff correspondence.  Instances beyond the
+	// budget come back as build-only rows: the raw space is still
+	// explored and its symmetry quotient counted, but the labelled build
+	// and the refinement decision are skipped.  Zero or negative means
+	// the default budget.
+	DecideStateBudget int
+}
+
+// defaultDecideStateBudget keeps the decided portion of a default sweep
+// within a CI-friendly wall clock: the r = 14 ring (229 376 states) still
+// decides, the 1M-state r = 16 ring and beyond switch to build-only rows.
+const defaultDecideStateBudget = 300_000
+
+func (r Runner) decideStateBudget() int {
+	if r.DecideStateBudget <= 0 {
+		return defaultDecideStateBudget
+	}
+	return r.DecideStateBudget
 }
 
 func (r Runner) poolSize(jobs int) int {
@@ -168,7 +192,18 @@ type SweepRow struct {
 	DecideElapsed time.Duration
 	Corresponds   bool
 	MaxDegree     int
-	Err           error
+	// StatesPerSec is the construction throughput of the packed-BFS
+	// engine (zero when the sequential fallback built the instance).
+	StatesPerSec float64
+	// BuildOnly marks rows beyond the runner's decide budget: the space
+	// was explored and invariant-checked, but no correspondence was
+	// decided (Corresponds is meaningless on such rows).
+	BuildOnly bool
+	// QuotientStates counts the orbits of the instance's automorphism
+	// group, reported on build-only rows of topologies with a wired
+	// symmetry group (zero otherwise).
+	QuotientStates int
+	Err            error
 }
 
 // CorrespondenceSweep is the classic ring sweep: it decides the cutoff
@@ -210,17 +245,27 @@ func SweepRowsTable(rows []SweepRow) *Table {
 	t := &Table{
 		ID:      "SWEEP",
 		Title:   "Cutoff correspondence M_cutoff ~ M_n across sizes (worker pool)",
-		Columns: []string{"topology", "n", "states", "transitions", "build", "decide", "corresponds", "max degree"},
+		Columns: []string{"topology", "n", "states", "transitions", "build", "states/s", "decide", "corresponds", "max degree", "orbits"},
 	}
 	for _, row := range rows {
 		topo := row.Topology
 		if topo == "" {
 			topo = "ring"
 		}
-		t.AddRow(topo, row.R, row.States, row.Transitions, row.BuildElapsed, row.DecideElapsed, row.Corresponds, row.MaxDegree)
+		corresponds := fmt.Sprintf("%v", row.Corresponds)
+		if row.BuildOnly {
+			corresponds = "build-only"
+		}
+		orbits := ""
+		if row.QuotientStates > 0 {
+			orbits = fmt.Sprintf("%d", row.QuotientStates)
+		}
+		t.AddRow(topo, row.R, row.States, row.Transitions, row.BuildElapsed, int(row.StatesPerSec),
+			row.DecideElapsed, corresponds, row.MaxDegree, orbits)
 	}
 	t.Notes = append(t.Notes,
 		"decide times the partition-refinement engine on all index pairs of the topology's cutoff IN relation",
-		"every 'yes' row extends the range of sizes over which Theorem 5 transfers the family's specifications")
+		"every 'yes' row extends the range of sizes over which Theorem 5 transfers the family's specifications",
+		"build-only rows exceed the decide budget: the raw space is explored (states/s is the packed-BFS throughput) and its symmetry quotient counted (orbits), but no correspondence is decided")
 	return t
 }

@@ -6,7 +6,10 @@ import (
 	"time"
 
 	"repro/internal/bisim"
+	"repro/internal/explore"
 	"repro/internal/family"
+	"repro/internal/kripke"
+	"repro/internal/symmetry"
 )
 
 // This file generalises the ring-size sweep to arbitrary topologies and
@@ -46,42 +49,7 @@ func (r Runner) TopologySweep(ctx context.Context, topo family.Topology, sizes [
 		for k, size := range sizes {
 			k, size := k, size
 			jobs[k] = Job{ID: fmt.Sprintf("%s n=%d", topo.Name(), size), Run: func(ctx context.Context) (*Table, error) {
-				row := SweepRow{Topology: topo.Name(), R: size}
-				if err := topo.ValidSize(size); err != nil {
-					row.Err = err
-					rows[k] = row
-					return nil, nil
-				}
-				buildStart := time.Now()
-				large, err := topo.Build(size)
-				row.BuildElapsed = time.Since(buildStart)
-				if err != nil {
-					row.Err = err
-					rows[k] = row
-					return nil, nil
-				}
-				row.States = large.NumStates()
-				row.Transitions = large.NumTransitions()
-				// The inner index-pair pool inherits the runner's cap, so
-				// -workers bounds the total concurrency of a sweep.
-				opts := family.CorrespondOptions(topo)
-				opts.Workers = r.Workers
-				decideStart := time.Now()
-				res, err := bisim.IndexedCompute(ctx, small, large,
-					topo.IndexRelation(topo.CutoffSize(), size), opts)
-				row.DecideElapsed = time.Since(decideStart)
-				if err != nil {
-					row.Err = err
-					rows[k] = row
-					return nil, nil
-				}
-				row.Corresponds = res.Corresponds()
-				for _, pr := range res.Pairs {
-					if d := pr.Relation.MaxDegree(); d > row.MaxDegree {
-						row.MaxDegree = d
-					}
-				}
-				rows[k] = row
+				rows[k] = r.sweepRow(ctx, topo, small, size)
 				return nil, nil
 			}}
 		}
@@ -94,6 +62,105 @@ func (r Runner) TopologySweep(ctx context.Context, topo family.Topology, sizes [
 		}
 	}()
 	return out
+}
+
+// sweepRow measures one (topology, size) cell of a sweep.  Topologies with
+// a packed definition are explored by the parallel packed-BFS engine
+// (byte-identical to the sequential build); sizes whose spaces exceed the
+// decide budget come back as build-only rows carrying the raw-space counts,
+// the construction throughput and the symmetry-quotient orbit count, with
+// the reachable set checked for orbit closure instead of being decided.
+func (r Runner) sweepRow(ctx context.Context, topo family.Topology, small *kripke.Structure, size int) SweepRow {
+	row := SweepRow{Topology: topo.Name(), R: size}
+	if err := topo.ValidSize(size); err != nil {
+		row.Err = err
+		return row
+	}
+	var large *kripke.Structure
+	buildStart := time.Now()
+	if pi, packed := family.Packed(topo, size); packed {
+		sp, err := explore.Explore(ctx, pi.Def, explore.Options{Workers: r.BuildWorkers})
+		if err != nil {
+			row.Err = err
+			return row
+		}
+		exploreElapsed := time.Since(buildStart)
+		row.States = sp.NumStates()
+		row.Transitions = sp.NumTransitions()
+		if secs := exploreElapsed.Seconds(); secs > 0 {
+			row.StatesPerSec = float64(sp.NumStates()) / secs
+		}
+		if sp.NumStates() > r.decideStateBudget() || (pi.MaxStates > 0 && sp.NumStates() > pi.MaxStates) {
+			row.BuildOnly = true
+			row.BuildElapsed = exploreElapsed
+			row.Err = quotientStats(ctx, pi, sp, &row)
+			return row
+		}
+		m, err := explore.BuildFromSpace(ctx, pi.Def, sp)
+		if err != nil {
+			row.Err = err
+			return row
+		}
+		if large, err = pi.FinishBuilt(m); err != nil {
+			row.Err = err
+			return row
+		}
+		// MakeTotal variants may add self loops the raw space lacks.
+		row.States = large.NumStates()
+		row.Transitions = large.NumTransitions()
+	} else {
+		var err error
+		if large, err = topo.Build(size); err != nil {
+			row.Err = err
+			return row
+		}
+		row.States = large.NumStates()
+		row.Transitions = large.NumTransitions()
+	}
+	row.BuildElapsed = time.Since(buildStart)
+	// The inner index-pair pool inherits the runner's cap, so
+	// -workers bounds the total concurrency of a sweep.
+	opts := family.CorrespondOptions(topo)
+	opts.Workers = r.Workers
+	decideStart := time.Now()
+	res, err := bisim.IndexedCompute(ctx, small, large,
+		topo.IndexRelation(topo.CutoffSize(), size), opts)
+	row.DecideElapsed = time.Since(decideStart)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.Corresponds = res.Corresponds()
+	for _, pr := range res.Pairs {
+		if d := pr.Relation.MaxDegree(); d > row.MaxDegree {
+			row.MaxDegree = d
+		}
+	}
+	return row
+}
+
+// quotientStats fills the symmetry statistics of a build-only row: the
+// orbit count of the instance's automorphism group, with the orbit-closure
+// invariant Σ |orbit(rep)| = |space| checked so a build-only row still
+// certifies something about the space it refused to decide on.
+func quotientStats(ctx context.Context, pi family.PackedInstance, sp *explore.Space, row *SweepRow) error {
+	if pi.Group == nil {
+		return nil
+	}
+	q, err := symmetry.BuildQuotient(ctx, pi.Def, pi.Group, 0)
+	if err != nil {
+		return err
+	}
+	row.QuotientStates = q.NumReps()
+	total := 0
+	for i := 0; i < q.NumReps(); i++ {
+		total += pi.Group.OrbitSize(q.Rep(int32(i)))
+	}
+	if total != sp.NumStates() {
+		return fmt.Errorf("experiments: %s n=%d: orbit closure violated: orbits of the %d representatives cover %d states, space has %d",
+			row.Topology, row.R, q.NumReps(), total, sp.NumStates())
+	}
+	return nil
 }
 
 // crossTopologyReach is how far past each topology's cutoff the E10

@@ -1,0 +1,427 @@
+// Package explore is the parallel explicit-state construction engine: a
+// level-synchronised breadth-first exploration over packed uint64 state
+// codes that shards each frontier across a worker pool and still numbers
+// states exactly as the sequential FIFO exploration would, so a parallel
+// build is byte-identical to a sequential one.
+//
+// A Def describes one state space intensionally: an initial code, a
+// successor generator and a labelling, all over packed codes (see
+// internal/ring and internal/process for the packers).  Two artefacts can
+// be built from a Def:
+//
+//   - Explore returns the raw Space — the reachable codes in canonical BFS
+//     order plus the transition relation in compressed-sparse-row form,
+//     with no labels and no per-state allocations, which is the
+//     representation that scales to tens of millions of states;
+//   - Build additionally materialises the labelled kripke.Structure through
+//     the existing Builder fast paths (AddStateNormalized,
+//     AddTransitionRow), for the sizes the correspondence and
+//     model-checking engines actually consume.
+//
+// Determinism.  The sequential explorations this package replaces (a FIFO
+// queue over codes) assign state identifiers in level order, and within a
+// level in first-occurrence order of the concatenated successor stream of
+// the previous level's states taken in identifier order.  The parallel
+// engine reproduces that numbering exactly: each level is split into
+// contiguous chunks, workers record for every newly seen code the minimal
+// (frontier index, successor index) stream position that produced it, and a
+// per-level renumber pass sorts the new codes by that position before
+// assigning identifiers.  The result does not depend on the worker count or
+// on scheduling.
+//
+// Dedup is a striped open-addressing table of packed codes: the permanent
+// table is read lock-free during a level (it only grows between levels),
+// and per-stripe mutexes guard only the small per-level pending sets, so
+// the hot path costs one hash and a few probes instead of a Go map
+// operation.
+package explore
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kripke"
+)
+
+// Def describes a state space over packed uint64 codes.
+type Def struct {
+	// Name names the built structure (e.g. "ring[12]").
+	Name string
+	// Init is the packed initial state.
+	Init uint64
+	// NumIndices, when positive, declares the index set 1..NumIndices on
+	// the built structure (kripke.Builder.DeclareIndex).
+	NumIndices int
+	// Succ appends the successor codes of code to dst and returns it.
+	// The engine calls Succ concurrently from multiple goroutines, so it
+	// must be safe for concurrent use (pure functions over the code are).
+	Succ func(dst []uint64, code uint64) ([]uint64, error)
+	// Label appends the state's propositions to dst in canonical Prop.Less
+	// order (or any fixed order — unsorted labels are normalised by the
+	// builder).  Label is only called by Build, sequentially.
+	Label func(dst []kripke.Prop, code uint64) []kripke.Prop
+}
+
+// Options controls an exploration.
+type Options struct {
+	// Workers is the worker-pool size; zero or negative means one per
+	// available CPU.  The result is identical for every worker count.
+	Workers int
+	// MaxStates caps the number of reachable states generated; zero means
+	// DefaultMaxStates.  Exceeding the cap returns ErrLimit: the caller
+	// asked for a space that should be reasoned about with the
+	// correspondence theorem, not enumerated.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds explorations that set no explicit cap (2^25
+// states ≈ the r = 21 ring).
+const DefaultMaxStates = 1 << 25
+
+// ErrLimit marks explorations aborted at their state cap.
+var ErrLimit = errors.New("state space beyond the exploration limit")
+
+// maxSuccPerState bounds the successor count of a single state, so a
+// stream position packs into (frontier index << 16) | successor index.
+const maxSuccPerState = 1 << 16
+
+// Space is the raw result of an exploration: the reachable codes in
+// canonical BFS order and the deduplicated transition relation in
+// compressed-sparse-row form.  State 0 is the initial state.
+type Space struct {
+	name  string
+	codes []uint64
+	succ  []int32
+	off   []int64
+	table *codeTable
+}
+
+// Name returns the definition's name.
+func (sp *Space) Name() string { return sp.name }
+
+// NumStates returns the number of reachable states.
+func (sp *Space) NumStates() int { return len(sp.codes) }
+
+// NumTransitions returns the number of distinct transitions.
+func (sp *Space) NumTransitions() int { return len(sp.succ) }
+
+// Code returns the packed code of state s.
+func (sp *Space) Code(s int32) uint64 { return sp.codes[s] }
+
+// Codes returns every reachable code in state order.  The slice is shared
+// backing and must not be modified.
+func (sp *Space) Codes() []uint64 { return sp.codes }
+
+// Succ returns the successor states of s, sorted ascending.  The slice is
+// a view into shared backing and must not be modified.
+func (sp *Space) Succ(s int32) []int32 { return sp.succ[sp.off[s]:sp.off[s+1]] }
+
+// Lookup returns the state with the given code.
+func (sp *Space) Lookup(code uint64) (int32, bool) { return sp.table.get(code) }
+
+// Explore runs the parallel breadth-first exploration of def and returns
+// its raw Space.  Cancelling ctx stops the worker pool promptly; no worker
+// goroutine survives the call.
+func Explore(ctx context.Context, def Def, opts Options) (*Space, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	if maxStates > 1<<31-1 {
+		return nil, fmt.Errorf("explore: %s: MaxStates %d exceeds the int32 state id space", def.Name, maxStates)
+	}
+	if def.Succ == nil {
+		return nil, fmt.Errorf("explore: %s: Def.Succ is nil", def.Name)
+	}
+
+	sp := &Space{name: def.Name, table: newCodeTable(workers <= 1)}
+	sp.table.insert(def.Init, 0)
+	numStates := 1
+
+	// The state codes and the CSR arrays are accumulated as per-level
+	// segments and assembled once at the end: growing multi-hundred-MB
+	// slices through append would copy the whole prefix over and over,
+	// which is exactly the cost that made labelled builds degrade with
+	// size (DESIGN.md §7, "Allocation discipline").
+	frontier := []uint64{def.Init}
+	codeSegs := [][]uint64{frontier}
+	var rowSegs [][]int32 // per level: deduplicated successor rows, concatenated
+	var cntSegs [][]int32 // per level: deduplicated row lengths
+
+	// Reusable per-level chunk buffers (grown as levels grow).
+	var chunks []levelChunk
+
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		levelSize := len(frontier)
+		levelBase := numStates - levelSize
+		numChunks := workers * 4
+		if numChunks > levelSize {
+			numChunks = levelSize
+		}
+		chunkSize := (levelSize + numChunks - 1) / numChunks
+		for len(chunks) < numChunks {
+			chunks = append(chunks, levelChunk{})
+		}
+
+		// Phase A: generate successors chunk by chunk, memoise the ids of
+		// codes already in the table and claim the minimal stream position
+		// of every code not yet in it.
+		err := parallelDo(ctx, workers, numChunks, func(ci int) error {
+			c := &chunks[ci]
+			lo := ci * chunkSize
+			hi := lo + chunkSize
+			if hi > levelSize {
+				hi = levelSize
+			}
+			c.lo, c.hi = lo, hi
+			c.counts = c.counts[:0]
+			c.flat = c.flat[:0]
+			c.ids = c.ids[:0]
+			var err error
+			for k := lo; k < hi; k++ {
+				base := len(c.flat)
+				c.flat, err = def.Succ(c.flat, frontier[k])
+				if err != nil {
+					return fmt.Errorf("explore: %s: successors of state %d: %w", def.Name, levelBase+k, err)
+				}
+				row := c.flat[base:]
+				if len(row) >= maxSuccPerState {
+					return fmt.Errorf("explore: %s: state %d has %d successors (limit %d)",
+						def.Name, levelBase+k, len(row), maxSuccPerState)
+				}
+				c.counts = append(c.counts, int32(len(row)))
+				for j, code := range row {
+					if id, ok := sp.table.get(code); ok {
+						c.ids = append(c.ids, id)
+						continue
+					}
+					c.ids = append(c.ids, unresolved)
+					sp.table.claim(code, uint64(k)<<16|uint64(j))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Phase B: the canonical renumber pass.  Drain the pending sets,
+		// sort the new codes by minimal stream position and assign ids —
+		// exactly the first-occurrence order of the sequential stream.
+		pend := sp.table.drainPending()
+		slices.SortFunc(pend, func(a, b pendingEntry) int { return cmp.Compare(a.pos, b.pos) })
+		if numStates+len(pend) > maxStates {
+			return nil, fmt.Errorf("explore: %s: more than %d reachable states: %w", def.Name, maxStates, ErrLimit)
+		}
+		next := make([]uint64, len(pend))
+		for i, e := range pend {
+			sp.table.insert(e.code, int32(numStates+i))
+			next[i] = e.code
+		}
+		numStates += len(pend)
+
+		// Phase C: resolve the unresolved successor ids (codes that were
+		// new in phase A), then sort and deduplicate each state's row (the
+		// CSR convention of the builder).  Memoised ids skip the second
+		// table lookup entirely.
+		err = parallelDo(ctx, workers, numChunks, func(ci int) error {
+			c := &chunks[ci]
+			c.rows = c.rows[:0]
+			c.dcounts = c.dcounts[:0]
+			base := 0
+			for _, n := range c.counts {
+				codes := c.flat[base : base+int(n)]
+				ids := c.ids[base : base+int(n)]
+				base += int(n)
+				start := len(c.rows)
+				for i, id := range ids {
+					if id == unresolved {
+						got, ok := sp.table.get(codes[i])
+						if !ok {
+							return fmt.Errorf("explore: %s: successor code %#x missing from the table", def.Name, codes[i])
+						}
+						id = got
+					}
+					c.rows = append(c.rows, id)
+				}
+				seg := c.rows[start:]
+				slices.Sort(seg)
+				seg = slices.Compact(seg)
+				c.rows = c.rows[:start+len(seg)]
+				c.dcounts = append(c.dcounts, int32(len(seg)))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Phase D: steal the chunk buffers as the level's CSR segments — the
+		// chunk rows are already the final deduplicated successor rows, in
+		// frontier order — and hand each chunk a fresh, similarly sized
+		// buffer for the next level.  Stealing instead of copying halves the
+		// engine's traffic over the transition arrays.
+		for ci := 0; ci < numChunks; ci++ {
+			c := &chunks[ci]
+			rowSegs = append(rowSegs, c.rows)
+			cntSegs = append(cntSegs, c.dcounts)
+			c.rows = make([]int32, 0, len(c.rows)+len(c.rows)/4)
+			c.dcounts = make([]int32, 0, len(c.dcounts)+len(c.dcounts)/4)
+		}
+		if len(next) > 0 {
+			codeSegs = append(codeSegs, next)
+		}
+		frontier = next
+	}
+
+	// Final assembly: one exact-size allocation per array.
+	totalEdges := 0
+	for _, seg := range rowSegs {
+		totalEdges += len(seg)
+	}
+	sp.codes = make([]uint64, 0, numStates)
+	for _, seg := range codeSegs {
+		sp.codes = append(sp.codes, seg...)
+	}
+	sp.succ = make([]int32, 0, totalEdges)
+	sp.off = make([]int64, 1, numStates+1)
+	for li, seg := range rowSegs {
+		sp.succ = append(sp.succ, seg...)
+		for _, n := range cntSegs[li] {
+			sp.off = append(sp.off, sp.off[len(sp.off)-1]+int64(n))
+		}
+	}
+	return sp, nil
+}
+
+// Build explores def and materialises the labelled Kripke structure.  The
+// result is byte-identical (after kripke.EncodeText) to the structure a
+// sequential FIFO exploration of the same Def produces, for every worker
+// count.  The returned structure is partial: callers validate totality or
+// add self loops, as their sequential paths do.
+func Build(ctx context.Context, def Def, opts Options) (*kripke.Structure, *Space, error) {
+	sp, err := Explore(ctx, def, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := BuildFromSpace(ctx, def, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, sp, nil
+}
+
+// BuildFromSpace labels an already-explored Space through the builder fast
+// paths and returns the (partial) structure.
+func BuildFromSpace(ctx context.Context, def Def, sp *Space) (*kripke.Structure, error) {
+	if def.Label == nil {
+		return nil, fmt.Errorf("explore: %s: Def.Label is nil", def.Name)
+	}
+	n := sp.NumStates()
+	b := kripke.NewBuilder(def.Name)
+	b.Grow(n, sp.NumTransitions())
+	for i := 1; i <= def.NumIndices; i++ {
+		b.DeclareIndex(i)
+	}
+	var scratch []kripke.Prop
+	for s := 0; s < n; s++ {
+		if s&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		scratch = def.Label(scratch[:0], sp.codes[s])
+		b.AddStateNormalized(scratch)
+	}
+	if err := b.SetInitial(0); err != nil {
+		return nil, err
+	}
+	for s := 0; s < n; s++ {
+		if err := b.AddTransitionRow(kripke.State(s), sp.Succ(int32(s))); err != nil {
+			return nil, err
+		}
+	}
+	m, err := b.BuildPartial()
+	if err != nil {
+		return nil, fmt.Errorf("explore: building %s: %w", def.Name, err)
+	}
+	return m, nil
+}
+
+// unresolved marks a successor whose code was not yet in the permanent
+// table during phase A; phase C resolves it after the renumber pass.
+const unresolved = int32(-1)
+
+// levelChunk is one contiguous slice of a level's frontier with its
+// per-phase scratch buffers, reused across levels.
+type levelChunk struct {
+	lo, hi  int
+	counts  []int32  // raw successor count per frontier state
+	flat    []uint64 // successor codes, concatenated
+	ids     []int32  // parallel to flat: memoised id, or unresolved
+	rows    []int32  // resolved rows, per-state sorted and deduplicated
+	dcounts []int32  // deduplicated row lengths
+}
+
+// parallelDo runs fn(0..n-1) on up to workers goroutines, claiming chunk
+// indices atomically.  It returns the error of the lowest-indexed failing
+// chunk and always joins every goroutine before returning; a cancelled ctx
+// stops workers at their next claim.
+func parallelDo(ctx context.Context, workers, n int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

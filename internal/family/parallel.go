@@ -1,0 +1,156 @@
+package family
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bisim"
+	"repro/internal/explore"
+	"repro/internal/kripke"
+	"repro/internal/symmetry"
+)
+
+// PackedInstance is a topology instance exposed intensionally to the
+// parallel construction and symmetry engines: a packed-code definition of
+// the state space plus the family's per-size metadata.
+type PackedInstance struct {
+	// Def is the packed-code state-space definition (see internal/explore).
+	Def explore.Def
+	// Group is the instance's automorphism group for symmetry quotients,
+	// or nil when none is wired (e.g. mutated variants, whose rewritten
+	// rules may break the process symmetry the group expresses).
+	Group *symmetry.Group
+	// MakeTotal completes deadlock states with self loops after building,
+	// exactly as the topology's sequential Build does for broken variants.
+	MakeTotal bool
+	// Validate requires the built structure to be total, exactly as the
+	// topology's sequential Build does (the ring validates; the token
+	// families do not).
+	Validate bool
+	// MaxStates is the explicit-construction budget of the sequential
+	// Build, honoured by the labelled parallel path so both refuse the
+	// same sizes.
+	MaxStates int
+}
+
+// Packable is the optional Topology extension providing packed
+// definitions.  Both built-in topology implementations provide it;
+// external implementations fall back to their sequential Build.
+type Packable interface {
+	// Packed returns the packed instance of size n, or ok == false when
+	// the size is invalid or the instance does not pack into a word.
+	Packed(n int) (PackedInstance, bool)
+}
+
+// Packed returns the topology's packed size-n instance, or ok == false
+// when the topology does not support packed construction (or the size does
+// not pack).
+func Packed(t Topology, n int) (PackedInstance, bool) {
+	p, ok := t.(Packable)
+	if !ok {
+		return PackedInstance{}, false
+	}
+	return p.Packed(n)
+}
+
+// FinishBuilt applies the packed instance's post-build steps (totality
+// completion or validation) to a freshly built partial structure, exactly
+// as the topology's sequential Build would.
+func (pi PackedInstance) FinishBuilt(m *kripke.Structure) (*kripke.Structure, error) {
+	if pi.MakeTotal {
+		return m.MakeTotal(), nil
+	}
+	if pi.Validate {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("family: building %s: %w", pi.Def.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// BuildParallel constructs the topology's size-n instance through the
+// parallel packed-BFS engine with the given worker count, byte-identical
+// (kripke.EncodeText) to t.Build(n) for every worker count.  Topologies
+// without a packed definition fall back to the sequential Build.
+func BuildParallel(ctx context.Context, t Topology, n, workers int) (*kripke.Structure, error) {
+	pi, ok := Packed(t, n)
+	if !ok {
+		return t.Build(n)
+	}
+	m, _, err := explore.Build(ctx, pi.Def, explore.Options{Workers: workers, MaxStates: pi.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	return pi.FinishBuilt(m)
+}
+
+// BuildQuotient constructs the symmetry quotient of the topology's size-n
+// instance: one representative per orbit of the instance's automorphism
+// group, with witness-decorated transitions (see internal/symmetry).
+func BuildQuotient(ctx context.Context, t Topology, n int) (*symmetry.Quotient, error) {
+	pi, ok := Packed(t, n)
+	if !ok {
+		return nil, fmt.Errorf("family: %s has no packed definition for n=%d", t.Name(), n)
+	}
+	if pi.Group == nil {
+		return nil, fmt.Errorf("family: %s has no symmetry group wired for n=%d", t.Name(), n)
+	}
+	return symmetry.BuildQuotient(ctx, pi.Def, pi.Group, pi.MaxStates)
+}
+
+// BuildUnfolded constructs the topology's size-n instance by the
+// symmetry-reduced route: build the quotient, unfold it back to the full
+// space through the witness permutations, and verify the unfolding against
+// the original definition (orbit membership, sampled successor rows, orbit
+// closure).  The certificate records what was checked.  Topologies without
+// a group fall back to the sequential Build with a nil certificate.
+func BuildUnfolded(ctx context.Context, t Topology, n int) (*kripke.Structure, *symmetry.Certificate, error) {
+	pi, ok := Packed(t, n)
+	if !ok || pi.Group == nil {
+		m, err := t.Build(n)
+		return m, nil, err
+	}
+	q, err := symmetry.BuildQuotient(ctx, pi.Def, pi.Group, pi.MaxStates)
+	if err != nil {
+		return nil, nil, err
+	}
+	u, err := symmetry.Unfold(ctx, q, pi.MaxStates)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, err := q.Verify(ctx, u, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := u.Structure()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err = pi.FinishBuilt(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, cert, nil
+}
+
+// DecideCorrespondenceUnfolded is DecideCorrespondence with the oracle
+// (large) side built by the certified quotient-unfold route instead of the
+// direct exploration — the configuration the symmetry machinery exists
+// for, where the large instance is cheap to reach through its orbits.  The
+// returned certificate describes the unfolding checks (nil when the
+// topology has no group and the direct build was used).
+func DecideCorrespondenceUnfolded(ctx context.Context, t Topology, small, large int) (*bisim.IndexedResult, *symmetry.Certificate, error) {
+	sm, err := t.Build(small)
+	if err != nil {
+		return nil, nil, fmt.Errorf("family: %s: building small instance: %w", t.Name(), err)
+	}
+	lg, cert, err := BuildUnfolded(ctx, t, large)
+	if err != nil {
+		return nil, nil, fmt.Errorf("family: %s: unfolding large instance: %w", t.Name(), err)
+	}
+	res, err := DecideBuilt(ctx, t, sm, small, lg, large)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, cert, nil
+}

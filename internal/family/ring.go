@@ -6,6 +6,7 @@ import (
 	"repro/internal/bisim"
 	"repro/internal/kripke"
 	"repro/internal/ring"
+	"repro/internal/symmetry"
 )
 
 // ringTopology adapts the hand-built Section 5 case study of internal/ring
@@ -46,6 +47,22 @@ func (ringTopology) Build(n int) (*kripke.Structure, error) {
 		return nil, err
 	}
 	return inst.M, nil
+}
+
+// Packed implements Packable: the ring's packed-code definition (two bits
+// per process) with the rotation group C_n — rotations are automorphisms
+// of the Section 5 protocol because every rule is defined relative to ring
+// distance (cln is rotation-equivariant).
+func (ringTopology) Packed(n int) (PackedInstance, bool) {
+	if n < 2 || n > 31 {
+		return PackedInstance{}, false
+	}
+	return PackedInstance{
+		Def:       ring.PackedDef(n),
+		Group:     symmetry.Cyclic(n, 2),
+		Validate:  true,
+		MaxStates: ring.MaxExplicitStates,
+	}, true
 }
 
 // IndexRelation implements Topology: the paper's Section 5 relation for

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mutate"
 	"repro/internal/process"
 	"repro/internal/ring"
+	"repro/internal/symmetry"
 )
 
 // This file derives concrete topologies from one protocol: token
@@ -107,6 +108,11 @@ type tokenTopology struct {
 	// every build: the deliberately broken variants of the mutation-testing
 	// harness (see mutant.go).
 	mutation *mutate.Mutation
+	// group returns the automorphism group of the size-n communication
+	// graph for symmetry quotients (nil: no symmetry wired).  The group is
+	// only exposed for unmutated variants — a mutation rewrites individual
+	// pass-rank rules and can break the process symmetry.
+	group func(n int) *symmetry.Group
 }
 
 // Name implements Topology.
@@ -186,10 +192,10 @@ func tokenRules(neigh func(i int) []int, maxDeg int) []process.Rule {
 	return rules
 }
 
-// Build implements Topology: instantiate the token template n times and
-// compose it with the topology's pass rules through internal/process,
-// applying the topology's mutation (if any) to the rule list first.
-func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
+// network instantiates the token template n times with the topology's pass
+// rules (mutation applied), the shared construction behind Build and
+// Packed.
+func (t *tokenTopology) network(n int) (*process.Network, error) {
 	if err := t.ValidSize(n); err != nil {
 		return nil, fmt.Errorf("family: %w", err)
 	}
@@ -208,7 +214,7 @@ func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
 		}
 		rules = rewritten
 	}
-	net := &process.Network{
+	return &process.Network{
 		Template: tokenTemplate(),
 		N:        n,
 		Rules:    rules,
@@ -218,6 +224,39 @@ func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
 			}
 			return tokenStateIdle
 		},
+	}, nil
+}
+
+// Packed implements Packable: the network's packed-code definition (the
+// stateCodec fields of internal/process) with the topology's automorphism
+// group, when one is wired and the variant is unmutated.
+func (t *tokenTopology) Packed(n int) (PackedInstance, bool) {
+	net, err := t.network(n)
+	if err != nil {
+		return PackedInstance{}, false
+	}
+	def, ok := net.PackedDef(fmt.Sprintf("%s[%d]", t.name, n))
+	if !ok {
+		return PackedInstance{}, false
+	}
+	pi := PackedInstance{
+		Def:       def,
+		MakeTotal: t.mutation != nil,
+		MaxStates: 1_000_000,
+	}
+	if t.group != nil && t.mutation == nil {
+		pi.Group = t.group(n)
+	}
+	return pi, true
+}
+
+// Build implements Topology: instantiate the token template n times and
+// compose it with the topology's pass rules through internal/process,
+// applying the topology's mutation (if any) to the rule list first.
+func (t *tokenTopology) Build(n int) (*kripke.Structure, error) {
+	net, err := t.network(n)
+	if err != nil {
+		return nil, err
 	}
 	m, err := net.BuildKripke(process.BuildOptions{Name: fmt.Sprintf("%s[%d]", t.name, n)})
 	if err != nil {
@@ -254,6 +293,9 @@ func Star() Topology {
 				return []int{1}
 			}
 		},
+		// The hub is fixed; the leaves (fields 1..n-1 of the packed code)
+		// are pairwise interchangeable.
+		group: func(n int) *symmetry.Group { return symmetry.SymmetricRange(n, 2, 1, n) },
 	}
 }
 
@@ -279,6 +321,9 @@ func Line() Topology {
 			}
 		},
 		indices: lineIndexRelation,
+		// The end-to-end flip i ↦ n+1-i is the path graph's one
+		// non-trivial automorphism.
+		group: func(n int) *symmetry.Group { return symmetry.Reversal(n, 2) },
 	}
 }
 
@@ -324,6 +369,9 @@ func Tree() Topology {
 				return out
 			}
 		},
+		// Aligned swaps of shape-identical sibling subtrees generate (a
+		// subgroup of) the heap-shaped tree's automorphism group.
+		group: func(n int) *symmetry.Group { return symmetry.TreeHeap(n, 2) },
 	}
 }
 
@@ -387,5 +435,8 @@ func torusWithRows(rows int, name string) Topology {
 				return out
 			}
 		},
+		// The torus is vertex-transitive under its translation group
+		// Z_rows × Z_cols (row-major fields match the process numbering).
+		group: func(n int) *symmetry.Group { return symmetry.TorusTranslations(rows, n/rows, 2) },
 	}
 }

@@ -366,6 +366,8 @@ type Builder struct {
 
 	scratchProps []Prop
 	scratchKey   []byte
+	propArena    []Prop // slab backing for interned label sets
+	indexMask    uint64 // indices 0..63 already in indexValues (fast path)
 }
 
 // NewBuilder returns a Builder for a structure with the given name.
@@ -416,9 +418,30 @@ func (b *Builder) internLabel(props []Prop) LabelID {
 // and deduplicated; it is cloned, so callers may reuse it.
 func (b *Builder) internNew(lbl []Prop, key string) LabelID {
 	id := LabelID(len(b.labelSets))
+	// Structures whose labels carry per-index atoms (every family instance)
+	// intern a distinct set per state, so the clone is the builder's hottest
+	// allocation; slab-allocating the clones amortises it away.  Handed-out
+	// slices are full-capacity views, so a slab refill never moves them.
 	var cp []Prop
 	if len(lbl) > 0 {
-		cp = append(cp, lbl...)
+		if cap(b.propArena)-len(b.propArena) < len(lbl) {
+			// Slabs double up to 64K props, so small structures stay
+			// small and million-state builds refill rarely.
+			size := 2 * cap(b.propArena)
+			if size < 256 {
+				size = 256
+			}
+			if size > 64*1024 {
+				size = 64 * 1024
+			}
+			if size < len(lbl) {
+				size = len(lbl)
+			}
+			b.propArena = make([]Prop, 0, size)
+		}
+		start := len(b.propArena)
+		b.propArena = append(b.propArena, lbl...)
+		cp = b.propArena[start:len(b.propArena):len(b.propArena)]
 	}
 	b.intern[key] = id
 	b.labelSets = append(b.labelSets, cp)
@@ -426,10 +449,23 @@ func (b *Builder) internNew(lbl []Prop, key string) LabelID {
 	b.labelOnes = append(b.labelOnes, computeOnes(cp))
 	for _, p := range cp {
 		if p.Indexed {
-			b.indexValues[p.Index] = true
+			b.recordIndex(p.Index)
 		}
 	}
 	return id
+}
+
+// recordIndex notes an index value seen in a label.  Small indices hit a
+// bitmask before the map: a million-state build records r indices a few
+// million times, and the map assignments would dominate internNew.
+func (b *Builder) recordIndex(i int) {
+	if 0 <= i && i < 64 {
+		if b.indexMask&(1<<uint(i)) != 0 {
+			return
+		}
+		b.indexMask |= 1 << uint(i)
+	}
+	b.indexValues[i] = true
 }
 
 // AddState adds a state labelled with props and returns its identifier.
@@ -485,6 +521,25 @@ func (b *Builder) AddTransition(from, to State) error {
 	return nil
 }
 
+// AddTransitionRow adds a transition from from to every state in row.  It
+// validates from once and amortises the per-edge bounds check, which
+// matters when a pre-explored state space replays millions of edges
+// through the builder.
+func (b *Builder) AddTransitionRow(from State, row []int32) error {
+	n := len(b.labelIDs)
+	if int(from) < 0 || int(from) >= n {
+		return fmt.Errorf("kripke: AddTransitionRow(%d): state out of range [0,%d)", from, n)
+	}
+	base := uint64(from) << 32
+	for _, to := range row {
+		if to < 0 || int(to) >= n {
+			return fmt.Errorf("kripke: AddTransitionRow(%d, %d): state out of range [0,%d)", from, to, n)
+		}
+		b.edges = append(b.edges, base|uint64(uint32(to)))
+	}
+	return nil
+}
+
 // SetInitial designates the initial state.
 func (b *Builder) SetInitial(s State) error {
 	if int(s) < 0 || int(s) >= len(b.labelIDs) {
@@ -498,7 +553,7 @@ func (b *Builder) SetInitial(s State) error {
 // DeclareIndex records that index value i belongs to the index set I even if
 // no state labels a proposition with it (useful for processes that never
 // satisfy any indexed proposition in some reachable state).
-func (b *Builder) DeclareIndex(i int) { b.indexValues[i] = true }
+func (b *Builder) DeclareIndex(i int) { b.recordIndex(i) }
 
 // NumStates returns the number of states added so far.
 func (b *Builder) NumStates() int { return len(b.labelIDs) }
@@ -621,7 +676,28 @@ func normalizeLabelInto(dst []Prop, props []Prop) []Prop {
 // indexed propositions are grouped by name in ascending name order and one
 // linear pass suffices (the result inherits the sort).
 func computeOnes(lbl []Prop) []string {
-	var out []string
+	// Count first so the result is a single exact-size allocation (or none):
+	// computeOnes runs once per distinct label set, i.e. once per state for
+	// family instances.
+	count := 0
+	for i := 0; i < len(lbl); {
+		if !lbl[i].Indexed {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(lbl) && lbl[j].Name == lbl[i].Name {
+			j++
+		}
+		if j-i == 1 {
+			count++
+		}
+		i = j
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]string, 0, count)
 	for i := 0; i < len(lbl); {
 		if !lbl[i].Indexed {
 			i++

@@ -1,0 +1,77 @@
+package process
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/kripke"
+)
+
+// decode unpacks a code produced by encode into a fresh View.
+func (c stateCodec) decode(n *Network, code uint64) View {
+	locals := make([]int, n.N)
+	lmask := uint64(1)<<c.localBits - 1
+	for i := range locals {
+		locals[i] = int(code >> (uint(i) * c.localBits) & lmask)
+	}
+	shared := make([]int, len(c.sharedOff))
+	for i := range shared {
+		shared[i] = int(code >> c.sharedOff[i] & (uint64(1)<<c.sharedBits[i] - 1))
+	}
+	return View{net: n, locals: locals, shared: shared}
+}
+
+// PackedDef exposes the network to the parallel construction engine as an
+// explore.Def over the stateCodec's packed codes (process i's local-state
+// index in field i, shared variables above), or ok == false when the
+// network's states do not pack into a word.  A build through the engine is
+// byte-identical (kripke.EncodeText) to BuildKripke's, because both
+// enumerate successors in the same rule-major order and the engine
+// reproduces the sequential FIFO numbering.
+//
+// The returned Succ is called concurrently, so the network's rule guards
+// and updates must be pure functions of the view — true of every topology
+// in this repository; a network whose rules close over mutable state must
+// stay on BuildKripke.
+func (n *Network) PackedDef(name string) (explore.Def, bool) {
+	if err := n.Validate(); err != nil {
+		return explore.Def{}, false
+	}
+	codec, packed := n.newStateCodec()
+	if !packed {
+		return explore.Def{}, false
+	}
+	initial, err := n.initialView()
+	if err != nil {
+		return explore.Def{}, false
+	}
+	init, err := codec.encode(initial)
+	if err != nil {
+		return explore.Def{}, false
+	}
+	if name == "" {
+		name = fmt.Sprintf("%s[%d]", n.Template.Name, n.N)
+	}
+	return explore.Def{
+		Name:       name,
+		Init:       init,
+		NumIndices: n.N,
+		Succ: func(dst []uint64, code uint64) ([]uint64, error) {
+			succs, err := n.successors(codec.decode(n, code))
+			if err != nil {
+				return dst, err
+			}
+			for _, sv := range succs {
+				c, err := codec.encode(sv)
+				if err != nil {
+					return dst, err
+				}
+				dst = append(dst, c)
+			}
+			return dst, nil
+		},
+		Label: func(dst []kripke.Prop, code uint64) []kripke.Prop {
+			return n.appendLabel(dst, codec.decode(n, code))
+		},
+	}, true
+}

@@ -237,8 +237,11 @@ type Instance struct {
 	M *kripke.Structure
 	// States maps every kripke state to its ring state.
 	States []GlobalState
-	// indexOf maps a packed ring state to its kripke state.
+	// indexOf maps a packed ring state to its kripke state.  Instances
+	// assembled from an explored space leave it nil and use lookup, the
+	// space's own code table, instead of duplicating it.
 	indexOf map[uint64]kripke.State
+	lookup  func(uint64) (int32, bool)
 }
 
 // ---------------------------------------------------------------------------
@@ -488,6 +491,10 @@ func (in *Instance) StateOf(s kripke.State) GlobalState { return in.States[s] }
 func (in *Instance) StateID(g GlobalState) (kripke.State, bool) {
 	if g.R() != in.R {
 		return kripke.NoState, false
+	}
+	if in.lookup != nil {
+		id, ok := in.lookup(packState(g))
+		return kripke.State(id), ok
 	}
 	id, ok := in.indexOf[packState(g)]
 	return id, ok

@@ -1,0 +1,63 @@
+package symmetry_test
+
+import (
+	"testing"
+
+	"repro/internal/symmetry"
+)
+
+// fuzzGroup maps a selector byte and size byte onto one of the
+// constructors at a bounded degree, mirroring how the families wire their
+// groups (2-bit fields throughout).
+func fuzzGroup(kind, size byte) *symmetry.Group {
+	n := 1 + int(size)%12
+	switch kind % 5 {
+	case 0:
+		return symmetry.Cyclic(n, 2)
+	case 1:
+		return symmetry.SymmetricRange(n, 2, n/3, n)
+	case 2:
+		return symmetry.Reversal(n, 2)
+	case 3:
+		return symmetry.TreeHeap(n, 2)
+	default:
+		rows := 2 + int(kind)%2
+		return symmetry.TorusTranslations(rows, 1+n/rows, 2)
+	}
+}
+
+// FuzzOrbitCanon throws arbitrary packed codes (and group shapes) at the
+// canonicalisation machinery and asserts the algebraic laws that the
+// quotient construction rests on: witness validity, idempotence, orbit
+// minimality, and generator invariance.
+func FuzzOrbitCanon(f *testing.F) {
+	f.Add(uint64(0), byte(0), byte(4))
+	f.Add(uint64(0x2), byte(0), byte(4))                // ring[4] initial state
+	f.Add(uint64(0xcb), byte(1), byte(4))               // the star canon regression shape
+	f.Add(^uint64(0), byte(3), byte(7))                 // all-ones through a tree group
+	f.Add(uint64(0x123456789abcdef), byte(4), byte(11)) // torus, tail bits set
+	f.Fuzz(func(t *testing.T, code uint64, kind, size byte) {
+		g := fuzzGroup(kind, size)
+		canon, w := g.CanonWitness(code)
+		if got := g.Apply(w, code); got != canon {
+			t.Fatalf("%s: witness maps %#x to %#x, canon says %#x", g.Name(), code, got, canon)
+		}
+		if canon > code {
+			t.Fatalf("%s: canon %#x exceeds orbit member %#x", g.Name(), canon, code)
+		}
+		if again, w2 := g.CanonWitness(canon); again != canon {
+			t.Fatalf("%s: canon not idempotent on %#x", g.Name(), code)
+		} else if got := g.Apply(w2, canon); got != canon {
+			t.Fatalf("%s: idempotent witness is invalid on %#x", g.Name(), canon)
+		}
+		for gi, gen := range g.Generators() {
+			if got := g.Canon(g.Apply(gen, code)); got != canon {
+				t.Fatalf("%s: generator %d breaks invariance on %#x: %#x vs %#x",
+					g.Name(), gi, code, got, canon)
+			}
+		}
+		if orbit := g.OrbitAppend(nil, code); g.Order()%uint64(len(orbit)) != 0 {
+			t.Fatalf("%s: orbit size %d does not divide order %d", g.Name(), len(orbit), g.Order())
+		}
+	})
+}

@@ -35,6 +35,16 @@ type config struct {
 	// fallback.
 	topology        family.Topology
 	topologyInvalid bool
+
+	// construction knobs (WithParallelBuild, WithSymmetry): parallelBuild
+	// routes instance construction through the parallel packed-BFS engine
+	// (byte-identical to the sequential build, so it shares the sequential
+	// caches), buildWorkers caps its pool, and symmetry routes builds
+	// through the certified quotient-unfold (cached under its own key,
+	// since the unfolding renumbers states).
+	parallelBuild bool
+	buildWorkers  int
+	symmetry      bool
 }
 
 // topologyOrRing returns the configured topology, defaulting to the token
@@ -139,6 +149,34 @@ func WithoutRestrictionCheck() Option {
 // not correspond", so successful decisions pay nothing.
 func WithEvidence() Option {
 	return func(c *config) { c.evidence = true }
+}
+
+// WithParallelBuild makes a Session construct instances through the
+// parallel packed-BFS engine of internal/explore with a pool of the given
+// size (zero or negative: one worker per available CPU).  The engine's
+// level-synchronised numbering makes the result byte-identical
+// (kripke.EncodeText) to the sequential build for every worker count, so
+// parallel and sequential builds share the session's instance caches.
+// Topologies without a packed definition fall back to their sequential
+// Build.  Sweeps run by the session use the same pool for construction.
+func WithParallelBuild(workers int) Option {
+	return func(c *config) {
+		c.parallelBuild = true
+		c.buildWorkers = workers
+	}
+}
+
+// WithSymmetry makes a Session construct topology instances by the
+// certified symmetry-quotient route: explore one representative per orbit
+// of the instance's automorphism group, unfold the quotient back to the
+// full space through the recorded witness permutations, and verify the
+// unfolding against the original definition before handing the structure
+// out.  The unfolded structure is bisimilar to the direct build but
+// renumbered, so it is cached under a separate key and never mixed with
+// direct builds.  Topologies without a wired group fall back to their
+// sequential Build.
+func WithSymmetry() Option {
+	return func(c *config) { c.symmetry = true }
 }
 
 // WithTopology selects the family an operation works on: DecideCorrespondence

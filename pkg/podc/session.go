@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/family"
+	"repro/internal/kripke"
+	"repro/internal/ring"
 )
 
 // Session is the long-lived, serving-side entry point of the library: it
@@ -41,9 +43,23 @@ type Session struct {
 }
 
 // instanceKey addresses one built family instance in the session cache.
+// mode separates construction routes that yield different structures: ""
+// for direct and parallel builds (proven byte-identical, so they share
+// entries) and "sym" for the symmetry-unfolded route, whose structures are
+// bisimilar but renumbered.
 type instanceKey struct {
 	topology string
 	n        int
+	mode     string
+}
+
+// instanceMode returns the cache mode of the session's configured
+// construction route.
+func (c config) instanceMode() string {
+	if c.symmetry {
+		return "sym"
+	}
+	return ""
 }
 
 // pairKey addresses one decided correspondence (or transfer certificate)
@@ -120,8 +136,18 @@ func getOrCompute[K comparable, T any](ctx context.Context, s *Session, m map[K]
 }
 
 // Ring returns the cached ring instance M_r, building it on first use.
+// Sessions configured with WithParallelBuild construct it on the packed-BFS
+// worker pool; the result is byte-identical to the sequential build, so the
+// cache needs no separate key.
 func (s *Session) Ring(ctx context.Context, r int) (*Ring, error) {
 	return getOrCompute(ctx, s, s.rings, r, func() (*Ring, error) {
+		if s.cfg.parallelBuild {
+			inst, err := ring.BuildWith(ctx, r, ring.BuildOptions{Workers: s.cfg.buildWorkers})
+			if err != nil {
+				return nil, err
+			}
+			return &Ring{inst: inst}, nil
+		}
 		return BuildRing(r)
 	})
 }
@@ -159,20 +185,38 @@ func (s *Session) Instance(ctx context.Context, topo Topology, n int) (*Structur
 }
 
 func (s *Session) topologyInstance(ctx context.Context, t family.Topology, n int) (*Structure, error) {
-	if t.Name() == family.Ring().Name() {
+	mode := s.cfg.instanceMode()
+	if mode == "" && t.Name() == family.Ring().Name() {
+		// Ring instances share the richer Ring cache; the symmetry route
+		// renumbers states, so it stays in the per-mode instance cache.
 		rg, err := s.Ring(ctx, n)
 		if err != nil {
 			return nil, err
 		}
 		return rg.Structure(), nil
 	}
-	return getOrCompute(ctx, s, s.instances, instanceKey{topology: t.Name(), n: n}, func() (*Structure, error) {
-		m, err := t.Build(n)
+	return getOrCompute(ctx, s, s.instances, instanceKey{topology: t.Name(), n: n, mode: mode}, func() (*Structure, error) {
+		m, err := s.buildInstance(ctx, t, n)
 		if err != nil {
 			return nil, err
 		}
 		return wrapStructure(m), nil
 	})
+}
+
+// buildInstance constructs one topology instance through the session's
+// configured route: the certified quotient-unfold (WithSymmetry), the
+// parallel packed-BFS engine (WithParallelBuild) or the sequential Build.
+func (s *Session) buildInstance(ctx context.Context, t family.Topology, n int) (*kripke.Structure, error) {
+	switch {
+	case s.cfg.symmetry:
+		m, _, err := family.BuildUnfolded(ctx, t, n)
+		return m, err
+	case s.cfg.parallelBuild:
+		return family.BuildParallel(ctx, t, n, s.cfg.buildWorkers)
+	default:
+		return t.Build(n)
+	}
 }
 
 // Correspondence decides (and caches) the topology's canonical indexed
@@ -314,6 +358,16 @@ type SweepResult struct {
 	MaxDegree   int           `json:"max_degree"`
 	Build       time.Duration `json:"build_ns"`
 	Decide      time.Duration `json:"decide_ns"`
+	// StatesPerSec is the packed-BFS construction throughput (zero when
+	// the sequential fallback built the instance).
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	// BuildOnly marks sizes beyond the decide budget: the space was
+	// explored and invariant-checked, but no correspondence was decided
+	// (Corresponds is meaningless on such rows).
+	BuildOnly bool `json:"build_only,omitempty"`
+	// QuotientStates counts the orbits of the instance's automorphism
+	// group on build-only rows (zero otherwise).
+	QuotientStates int `json:"quotient_states,omitempty"`
 	// Err is non-nil when this size failed (the sweep continues with the
 	// remaining sizes).
 	Err error `json:"-"`
@@ -352,22 +406,25 @@ func (s *Session) SweepTopology(ctx context.Context, topo Topology, sizes []int)
 	if !topo.IsValid() {
 		return errorSweep(fmt.Errorf("podc: SweepTopology: invalid topology (zero value)"), sizes)
 	}
-	runner := experiments.Runner{Workers: s.cfg.workers}
+	runner := experiments.Runner{Workers: s.cfg.workers, BuildWorkers: s.cfg.buildWorkers}
 	return func(yield func(SweepResult) bool) {
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		ch := runner.TopologySweep(ctx, topo.raw(), sizes)
 		for row := range ch {
 			res := SweepResult{
-				Topology:    row.Topology,
-				R:           row.R,
-				States:      row.States,
-				Transitions: row.Transitions,
-				Corresponds: row.Corresponds,
-				MaxDegree:   row.MaxDegree,
-				Build:       row.BuildElapsed,
-				Decide:      row.DecideElapsed,
-				Err:         row.Err,
+				Topology:       row.Topology,
+				R:              row.R,
+				States:         row.States,
+				Transitions:    row.Transitions,
+				Corresponds:    row.Corresponds,
+				MaxDegree:      row.MaxDegree,
+				Build:          row.BuildElapsed,
+				Decide:         row.DecideElapsed,
+				StatesPerSec:   row.StatesPerSec,
+				BuildOnly:      row.BuildOnly,
+				QuotientStates: row.QuotientStates,
+				Err:            row.Err,
 			}
 			if !yield(res) {
 				cancel()
@@ -401,15 +458,18 @@ func SweepResultsTable(rows []SweepResult) *Table {
 	raw := make([]experiments.SweepRow, len(rows))
 	for i, r := range rows {
 		raw[i] = experiments.SweepRow{
-			Topology:      r.Topology,
-			R:             r.R,
-			States:        r.States,
-			Transitions:   r.Transitions,
-			BuildElapsed:  r.Build,
-			DecideElapsed: r.Decide,
-			Corresponds:   r.Corresponds,
-			MaxDegree:     r.MaxDegree,
-			Err:           r.Err,
+			Topology:       r.Topology,
+			R:              r.R,
+			States:         r.States,
+			Transitions:    r.Transitions,
+			BuildElapsed:   r.Build,
+			DecideElapsed:  r.Decide,
+			Corresponds:    r.Corresponds,
+			MaxDegree:      r.MaxDegree,
+			StatesPerSec:   r.StatesPerSec,
+			BuildOnly:      r.BuildOnly,
+			QuotientStates: r.QuotientStates,
+			Err:            r.Err,
 		}
 	}
 	return tableFromRaw(experiments.SweepRowsTable(raw))

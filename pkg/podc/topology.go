@@ -49,11 +49,14 @@ func TorusTopology() Topology { return Topology{t: family.Torus()} }
 func Torus3Topology() Topology { return Topology{t: family.Torus3()} }
 
 // DefaultSweepSizes returns the sizes the default sweep covers — up to the
-// 16384-fold state blow-up of the r = 14 ring and the 3×4 torus (n = 12) —
-// chosen to finish within a CI-friendly budget on the packed builders.
-// Sizes a topology cannot instantiate are skipped per topology, as with any
-// sweep.
-func DefaultSweepSizes() []int { return []int{4, 6, 8, 10, 12, 14} }
+// 21-million-state r = 20 ring.  Sizes whose state spaces fit the decide
+// budget (the r = 14 ring and below) decide the cutoff correspondence;
+// larger sizes come back as build-only rows, with the raw space explored by
+// the parallel packed-BFS engine, the reachable set checked for orbit
+// closure and the symmetry quotient's orbit count reported — so the sweep
+// still finishes within a CI-friendly budget.  Sizes a topology cannot
+// instantiate are skipped per topology, as with any sweep.
+func DefaultSweepSizes() []int { return []int{4, 6, 8, 10, 12, 14, 16, 18, 20} }
 
 // Topologies returns every built-in topology, the ring first.
 func Topologies() []Topology {

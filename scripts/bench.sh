@@ -5,18 +5,24 @@
 # across PRs instead of living in commit messages.
 #
 # Usage:
-#   scripts/bench.sh                # full run (default benchtime), writes BENCH_pr4.json
+#   scripts/bench.sh                # full run (default benchtime), writes BENCH_pr6.json
 #   scripts/bench.sh --smoke        # 1 iteration per benchmark: the CI smoke job
 #   BENCH_OUT=out.json scripts/bench.sh
 #   BENCHTIME=3x scripts/bench.sh   # custom -benchtime
 #
 # Each JSON entry carries the benchmark name, iteration count and every
 # metric Go reported (ns/op, B/op, allocs/op, and custom metrics such as
-# states/sec from BenchmarkStateExplosionBuild).
+# states/sec from the construction series BenchmarkParallelBuild and
+# BenchmarkPackedExplore).
+#
+# The script fails loudly: a benchmark binary that fails to build, a
+# benchmark that calls b.Fatal, or a run that produces no parseable
+# benchmark lines all exit non-zero without writing the JSON — a silent
+# empty result would read as "benchmarked everything" when nothing ran.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_pr4.json}"
+out="${BENCH_OUT:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-1s}"
 if [ "${1:-}" = "--smoke" ]; then
     benchtime="1x"
@@ -25,7 +31,21 @@ fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -timeout 60m . | tee "$raw"
+# tee under pipefail still propagates go test's exit status, but keep the
+# status explicit so a failure is reported as such, not as a tee artefact.
+if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -timeout 60m . | tee "$raw"; then
+    echo "bench.sh: benchmark run failed (see output above); not writing $out" >&2
+    exit 1
+fi
+if grep -Eq '^(FAIL|--- FAIL)' "$raw"; then
+    echo "bench.sh: FAIL marker in benchmark output; not writing $out" >&2
+    exit 1
+fi
+count="$(grep -c '^Benchmark' "$raw" || true)"
+if [ "${count:-0}" -eq 0 ]; then
+    echo "bench.sh: no benchmark results parsed from the run; not writing $out" >&2
+    exit 1
+fi
 
 awk -v benchtime="$benchtime" '
 BEGIN {
@@ -53,4 +73,4 @@ END {
 }
 ' "$raw" > "$out"
 
-echo "wrote $out"
+echo "wrote $out ($count benchmarks)"
