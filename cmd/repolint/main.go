@@ -1,0 +1,24 @@
+// Command repolint runs the repository's own static-analysis suite
+// (internal/lint): five AST+types analyzers that enforce the engine's
+// determinism, cancellation, lock, pool and goroutine invariants at compile
+// time.  It is built exclusively on the standard library.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...          # whole tree (what CI runs)
+//	go run ./cmd/repolint ./internal/ring
+//	go run ./cmd/repolint -waivers ./... # list every //lint: waiver
+//
+// Diagnostics are printed as "file:line:col: analyzer: message", sorted;
+// the exit code is 0 when clean, 1 on findings, 2 on usage or load errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestSmoke drives the repolint entry point over the standalone module in
+// testdata/mod, asserting the exit code and the file:line:col diagnostic
+// format end to end.
+func TestSmoke(t *testing.T) {
+	t.Chdir("testdata/mod")
+	var out, errb strings.Builder
+	code := lint.Main([]string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	diagRe := regexp.MustCompile(`(?m)^leak\.go:\d+:\d+: goleak: goroutine has no visible exit signal`)
+	if !diagRe.MatchString(out.String()) {
+		t.Fatalf("diagnostic format mismatch:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "repolint: 1 finding(s)") {
+		t.Fatalf("stderr summary mismatch: %q", errb.String())
+	}
+}
+
+// TestSmokeWaivers asserts the -waivers listing mode exits 0 and prints
+// nothing for a module without //lint: comments.
+func TestSmokeWaivers(t *testing.T) {
+	t.Chdir("testdata/mod")
+	var out, errb strings.Builder
+	if code := lint.Main([]string{"-waivers", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-waivers exit code = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Fatalf("module has no waivers, but -waivers printed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,3 @@
+module smoketest
+
+go 1.24

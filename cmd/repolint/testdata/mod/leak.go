@@ -1,0 +1,23 @@
+// Package smoketest is a tiny standalone module the repolint smoke test
+// points the driver at: one goroutine with no exit signal, one clean
+// function.
+package smoketest
+
+// Fire leaks a goroutine.
+func Fire() chan int {
+	ch := make(chan int)
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+	return ch
+}
+
+// Drain is clean: the goroutine ends when the channel closes.
+func Drain(ch <-chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "testing"
+
+func TestDetRange(t *testing.T) {
+	testAnalyzer(t, NewDetRange(), "detrange/internal/ring", "internal/ring")
+}
+
+func TestDetRangeOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, "detrange/internal/ring", "sandbox/unscoped")
+	if diags := NewDetRange().Run(pkg); len(diags) != 0 {
+		t.Fatalf("detrange fired outside its package scope: %v", diags)
+	}
+}
+
+func TestCtxLoop(t *testing.T) {
+	testAnalyzer(t, NewCtxLoop(), "ctxloop/internal/mc", "internal/mc")
+}
+
+func TestCtxLoopOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, "ctxloop/internal/mc", "sandbox/unscoped")
+	if diags := NewCtxLoop().Run(pkg); len(diags) != 0 {
+		t.Fatalf("ctxloop fired outside its package scope: %v", diags)
+	}
+}
+
+func TestCtxLoopCustomScope(t *testing.T) {
+	pkg := loadFixture(t, "ctxloop/internal/mc", "sandbox/custom")
+	a := NewCtxLoop("sandbox/custom")
+	if diags := a.Run(pkg); len(diags) == 0 {
+		t.Fatal("ctxloop with a custom scope found nothing in its fixture")
+	}
+}
+
+func TestLockDiscipline(t *testing.T) {
+	testAnalyzer(t, NewLockDiscipline(), "lockdiscipline/striped", "striped")
+}
+
+func TestPoolDiscipline(t *testing.T) {
+	testAnalyzer(t, NewPoolDiscipline(), "pooldiscipline/pool", "pool")
+}
+
+func TestGoLeak(t *testing.T) {
+	testAnalyzer(t, NewGoLeak(), "goleak/spawn", "spawn")
+}
+
+func TestAllSuite(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		name := a.Name()
+		if name == "" || seen[name] {
+			t.Fatalf("analyzer name %q empty or duplicated", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLoop enforces the cancellation-checkpoint discipline of the engine
+// packages: an exported entry point that accepts a context.Context must
+// keep honouring it.  Two rules:
+//
+//  1. Every loop in such a function that does real work (calls functions or
+//     nests further loops — the loops that scale with user-sized state
+//     spaces) must reach a checkpoint each iteration: a ctx.Err()/ctx.Done()
+//     poll, a call that is handed a context (the callee checkpoints), or a
+//     cancellation helper (`cancelled`, `checkpoint`).
+//  2. A function that was given a ctx must thread that ctx to its callees:
+//     passing context.Background() or context.TODO() instead severs the
+//     caller's cancellation chain.
+//
+// Waive with `//lint:ctxloop <why>` (e.g. a loop with a small fixed bound).
+type CtxLoop struct {
+	// Packages scopes the analyzer; empty means DefaultCtxLoopPackages.
+	Packages []string
+}
+
+// DefaultCtxLoopPackages are the engine packages whose entry points the
+// cancellation tests (PR 2) hold to the checkpoint discipline.
+var DefaultCtxLoopPackages = []string{
+	"internal/bisim",
+	"internal/mc",
+	"internal/explore",
+	"internal/experiments",
+	"internal/ring",
+	"internal/family",
+	"internal/symmetry",
+	"internal/core",
+	"pkg/podc",
+}
+
+// NewCtxLoop returns the analyzer scoped to pkgs (default scope if empty).
+func NewCtxLoop(pkgs ...string) *CtxLoop { return &CtxLoop{Packages: pkgs} }
+
+// Name implements Analyzer.
+func (*CtxLoop) Name() string { return "ctxloop" }
+
+// Run implements Analyzer.
+func (a *CtxLoop) Run(p *Package) []Diagnostic {
+	scope := a.Packages
+	if len(scope) == 0 {
+		scope = DefaultCtxLoopPackages
+	}
+	if !matchPath(p.Path, scope) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !hasCtxParam(p, fn) {
+				continue
+			}
+			a.checkBackground(p, fn, &diags)
+			if fn.Name.IsExported() {
+				a.checkLoops(p, fn, &diags)
+			}
+		}
+	}
+	return diags
+}
+
+func hasCtxParam(p *Package, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBackground flags context.Background()/context.TODO() passed as a call
+// argument inside a function that already has a ctx to thread.
+func (a *CtxLoop) checkBackground(p *Package, fn *ast.FuncDecl, diags *[]Diagnostic) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name := freshContextCall(p, inner)
+			if name == "" {
+				continue
+			}
+			if p.waive(arg.Pos(), "ctxloop", a.Name(), diags) {
+				continue
+			}
+			*diags = append(*diags, p.Diag(arg.Pos(), a.Name(),
+				"%s receives a ctx but passes context.%s() to %s; thread the caller's ctx so cancellation propagates",
+				fn.Name.Name, name, calleeName(call)))
+		}
+		return true
+	})
+}
+
+// freshContextCall returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), else "".
+func freshContextCall(p *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// checkLoops flags outermost working loops that never reach a cancellation
+// checkpoint.  Only outermost loops are checked: the engine discipline
+// checkpoints at batch boundaries (pruning rounds, frontier levels,
+// splitter-pop batches), so an inner loop is covered by the checkpoint of
+// the loop that bounds it.
+func (a *CtxLoop) checkLoops(p *Package, fn *ast.FuncDecl, diags *[]Diagnostic) {
+	closures := localClosures(p, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			// A consumer loop ranging over a channel blocks on its producer;
+			// the producer owns the ctx discipline (closing the channel on
+			// cancellation ends the consumer), so the loop is covered.
+			if t := p.Info.TypeOf(loop.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return false
+				}
+			}
+			body = loop.Body
+		default:
+			return true
+		}
+		if loopDoesWork(p, body) && !loopHasCheckpoint(p, body, closures, 0) &&
+			!p.waive(n.Pos(), "ctxloop", a.Name(), diags) {
+			*diags = append(*diags, p.Diag(n.Pos(), a.Name(),
+				"loop in exported engine entry point %s does engine work but never reaches a ctx checkpoint (ctx.Err/ctx.Done poll or a ctx-taking callee); waive with //lint:ctxloop <why> if it is provably short",
+				fn.Name.Name))
+		}
+		return false // inner loops are covered by this loop's verdict
+	})
+}
+
+// localClosures maps function-local closure variables (`fail := func(...)`)
+// to their literals, so a checkpoint inside a helper closure counts for the
+// loop that calls it.
+func localClosures(p *Package, fn *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := as.Rhs[i].(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				out[obj] = lit
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopDoesWork reports whether the loop body does engine work: calls into
+// this module (the functions that walk user-sized state spaces) or nests
+// further loops.  Loops that only shuffle locals or call the standard
+// library (fmt, sort, ...) complete in one cheap pass and are exempt.
+func loopDoesWork(p *Package, body *ast.BlockStmt) bool {
+	works := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Building a closure is not doing work; its body runs later,
+			// under whatever discipline applies at the call site.
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			works = true
+		case *ast.CallExpr:
+			if isModuleCall(p, n) {
+				works = true
+			}
+		}
+		return !works
+	})
+	return works
+}
+
+// isModuleCall reports whether the call can reach this module's own code:
+// a function or method of a package in the same module, a closure, a
+// function value.  Standard-library calls and conversions are not engine
+// work.
+func isModuleCall(p *Package, call *ast.CallExpr) bool {
+	if isConversionOrBuiltin(p.Info, call) {
+		return false
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return true // computed function value: assume module code
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return true // closure or function-typed variable
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	return samePathRoot(fn.Pkg().Path(), p.Path)
+}
+
+// samePathRoot reports whether two import paths share their first segment
+// (both inside this module).
+func samePathRoot(a, b string) bool {
+	cut := func(s string) string {
+		if i := strings.IndexByte(s, '/'); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	return cut(a) == cut(b)
+}
+
+// loopHasCheckpoint reports whether any point inside the loop polls the
+// context or hands it to a callee.  Calls to function-local closures are
+// resolved one level deep, so a checkpoint inside a helper closure counts.
+func loopHasCheckpoint(p *Package, body *ast.BlockStmt, closures map[types.Object]*ast.FuncLit, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// ctx.Err() / ctx.Done() / ctx.Deadline() on any context value.
+			if t := p.Info.TypeOf(n.X); t != nil && isContextType(t) {
+				switch n.Sel.Name {
+				case "Err", "Done", "Deadline":
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			// Delegation: the callee receives a context and checkpoints.
+			for _, arg := range n.Args {
+				if t := p.Info.TypeOf(arg); t != nil && isContextType(t) {
+					found = true
+				}
+			}
+			// Cancellation helpers that poll a captured context (for
+			// example mc.Checker.cancelled).
+			switch callSimpleName(n) {
+			case "cancelled", "canceled", "checkpoint":
+				found = true
+			}
+			// A local closure that checkpoints (e.g. a send helper that
+			// selects on ctx.Done) checkpoints for its caller.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && !found {
+				if lit := closures[p.Info.Uses[id]]; lit != nil {
+					if loopHasCheckpoint(p, lit.Body, closures, depth+1) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callSimpleName returns the bare name of the called function or method.
+func callSimpleName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

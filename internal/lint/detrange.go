@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRange enforces the determinism invariant behind byte-identical
+// kripke.EncodeText builds: in the state-space construction packages, `for
+// range` over a map visits keys in random order, so any loop whose effects
+// depend on visit order makes two runs of the same build disagree.  A map
+// range is accepted only when the loop body provably aggregates
+// order-insensitively — counts, sums, commutative bit-ops, min/max updates
+// guarded by a comparison, inserts into another set — or when the statement
+// carries a `//lint:ordered <why>` waiver (e.g. "keys are sorted below").
+type DetRange struct {
+	// Packages scopes the analyzer to import paths with these suffixes.
+	// Empty means DefaultDetRangePackages.
+	Packages []string
+}
+
+// DefaultDetRangePackages are the deterministic-ordering packages: every
+// builder whose output feeds EncodeText byte-equality tests.
+var DefaultDetRangePackages = []string{
+	"internal/explore",
+	"internal/kripke",
+	"internal/symmetry",
+	"internal/family",
+	"internal/ring",
+}
+
+// NewDetRange returns the analyzer scoped to pkgs (default scope if empty).
+func NewDetRange(pkgs ...string) *DetRange { return &DetRange{Packages: pkgs} }
+
+// Name implements Analyzer.
+func (*DetRange) Name() string { return "detrange" }
+
+// Run implements Analyzer.
+func (a *DetRange) Run(p *Package) []Diagnostic {
+	scope := a.Packages
+	if len(scope) == 0 {
+		scope = DefaultDetRangePackages
+	}
+	if !matchPath(p.Path, scope) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.waive(rs.Pos(), "ordered", a.Name(), &diags) {
+				return true
+			}
+			if orderInsensitiveBody(p, rs) {
+				return true
+			}
+			diags = append(diags, p.Diag(rs.Pos(), a.Name(),
+				"map iteration over %s has non-deterministic order in a deterministic build path; aggregate order-insensitively, sort first, or waive with //lint:ordered <why>",
+				types.ExprString(rs.X)))
+			return true
+		})
+	}
+	return diags
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is
+// an order-insensitive aggregation, so the loop's net effect is the same
+// under any key order.
+func orderInsensitiveBody(p *Package, rs *ast.RangeStmt) bool {
+	rangeVars := rangeVarObjects(p, rs)
+	for _, s := range rs.Body.List {
+		if !orderInsensitiveStmt(p, s, rangeVars, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObjects collects the key/value loop variables, so early returns
+// that leak "whichever key came first" can be told apart from early returns
+// of order-independent values.
+func rangeVarObjects(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+func orderInsensitiveStmt(p *Package, s ast.Stmt, rangeVars map[types.Object]bool, guarded bool) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return true // count
+
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return true // sum / commutative accumulation
+		case token.ASSIGN, token.DEFINE:
+			if guarded {
+				// Inside an if: the min/max-update idiom
+				// (`if v > best { best = v }`).
+				return true
+			}
+			// Unguarded plain assignment is last-writer-wins unless every
+			// target is an insert into another map (set-insert).
+			for _, lhs := range s.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				t := p.Info.TypeOf(ix.X)
+				if t == nil {
+					return false
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		// delete(m, k): set-remove.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				return true
+			}
+		}
+		// Set-insert methods (BitSet.Set, map-like Add/Insert) commute.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Set", "Add", "Insert":
+				return true
+			}
+		}
+		return false
+
+	case *ast.IfStmt:
+		for _, inner := range s.Body.List {
+			if !orderInsensitiveStmt(p, inner, rangeVars, true) {
+				return false
+			}
+		}
+		if s.Else != nil {
+			return orderInsensitiveStmt(p, s.Else, rangeVars, true)
+		}
+		return true
+
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if !orderInsensitiveStmt(p, inner, rangeVars, guarded) {
+				return false
+			}
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// continue always commutes; break/guarded early-exit stops at an
+		// arbitrary element, which is fine only when nothing order-derived
+		// escaped (assignments are vetted separately).
+		return s.Tok == token.CONTINUE || (guarded && s.Tok == token.BREAK)
+
+	case *ast.ReturnStmt:
+		// An early return is order-insensitive only when it does not leak
+		// the arbitrary element that happened to be visited first.
+		for _, res := range s.Results {
+			leak := false
+			ast.Inspect(res, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && rangeVars[p.Info.Uses[id]] {
+					leak = true
+				}
+				return !leak
+			})
+			if leak {
+				return false
+			}
+		}
+		return guarded
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flow.go is the tiny abstract interpreter shared by lockdiscipline and
+// pooldiscipline.  Both analyzers need the same thing: walk a function body
+// statement by statement, fork the state at branches, join it where paths
+// re-converge, and know when a path leaves the function (return, panic,
+// break/continue) so "on every path" obligations can be checked.  The state
+// itself (held locks, live pool sets) and the per-statement effects are the
+// analyzer's business, supplied as hooks.
+
+// flowState is an analyzer-owned abstract state.  clone must deep-copy;
+// merge joins a second fall-through path into the receiver (conservative:
+// obligations survive a merge, uncertain facts drop out).
+type flowState interface {
+	clone() flowState
+	merge(other flowState)
+	// assign replaces the receiver's contents with other's (used when only
+	// one branch of a fork falls through).
+	assign(other flowState)
+}
+
+// flowHooks are the analyzer callbacks.  Any hook may be nil.
+type flowHooks struct {
+	// onStmt sees every simple (non-control) statement: expression
+	// statements, assignments, defers, declarations, sends, inc/dec.
+	onStmt func(s ast.Stmt, st flowState)
+	// onControl sees a control statement (if/for/range/switch/select)
+	// before the engine descends into it, so headers (conditions, range
+	// operands, select blocking) can be inspected.
+	onControl func(s ast.Stmt, st flowState)
+	// onExit sees every path that leaves the function: each return
+	// statement, and once with s == nil if the body can fall off the end.
+	onExit func(s ast.Stmt, st flowState)
+	// onLoopEnter and onLoopExit bracket a loop body, walked on a clone of
+	// the pre-loop state; onLoopExit also fires for each break/continue
+	// inside the loop (with that path's state) so obligations scoped to the
+	// iteration can be checked.
+	onLoopEnter func(loop ast.Stmt, st flowState)
+	onLoopExit  func(loop ast.Stmt, st flowState)
+	// onGo sees go statements; the engine does not descend into them (a
+	// goroutine body runs under its own state).
+	onGo func(s *ast.GoStmt, st flowState)
+	// onComm sees the comm statement of a select clause (send or receive);
+	// when nil, onStmt is used.  Blocking-ness is the select's property —
+	// a select with a default clause never blocks — so comm statements are
+	// delivered through their own hook.
+	onComm func(s ast.Stmt, st flowState)
+}
+
+type flowEngine struct {
+	info  *types.Info
+	hooks flowHooks
+	// loops tracks the enclosing loop statements, innermost last, so
+	// break/continue can fire onLoopExit for the loop they leave.
+	loops []ast.Stmt
+}
+
+// walkFunc runs the engine over a function body.
+func (e *flowEngine) walkFunc(body *ast.BlockStmt, st flowState) {
+	if terminated := e.block(body.List, st); !terminated {
+		if e.hooks.onExit != nil {
+			e.hooks.onExit(nil, st)
+		}
+	}
+}
+
+// block walks a statement list, reporting whether every path through it
+// leaves the enclosing function or loop (so following statements are dead).
+func (e *flowEngine) block(stmts []ast.Stmt, st flowState) bool {
+	for _, s := range stmts {
+		if e.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *flowEngine) stmt(s ast.Stmt, st flowState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return e.block(s.List, st)
+
+	case *ast.LabeledStmt:
+		return e.stmt(s.Stmt, st)
+
+	case *ast.ReturnStmt:
+		e.simple(s, st)
+		if e.hooks.onExit != nil {
+			e.hooks.onExit(s, st)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			// Gotos would need a real CFG; bail out of the rest of the
+			// block conservatively (no diagnostics past this point).
+			return true
+		}
+		if (s.Tok == token.BREAK || s.Tok == token.CONTINUE) && len(e.loops) > 0 {
+			if e.hooks.onLoopExit != nil {
+				e.hooks.onLoopExit(e.loops[len(e.loops)-1], st)
+			}
+		}
+		return true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			e.simple(s.Init, st)
+		}
+		e.control(s, st)
+		thenSt := st.clone()
+		thenTerm := e.stmt(s.Body, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = e.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			st.assign(elseSt)
+		case elseTerm:
+			st.assign(thenSt)
+		default:
+			thenSt.merge(elseSt)
+			st.assign(thenSt)
+		}
+		return false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			e.simple(s.Init, st)
+		}
+		e.control(s, st)
+		e.loopBody(s, s.Body, s.Post, st)
+		// A `for {}` with no break never falls through.
+		return s.Cond == nil && !hasLoopBreak(s.Body)
+
+	case *ast.RangeStmt:
+		e.control(s, st)
+		e.loopBody(s, s.Body, nil, st)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			e.simple(s.Init, st)
+		}
+		e.control(s, st)
+		return e.clauses(s.Body.List, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			e.simple(s.Init, st)
+		}
+		e.control(s, st)
+		return e.clauses(s.Body.List, st)
+
+	case *ast.SelectStmt:
+		e.control(s, st)
+		return e.clauses(s.Body.List, st)
+
+	case *ast.GoStmt:
+		if e.hooks.onGo != nil {
+			e.hooks.onGo(s, st)
+		}
+		return false
+
+	default:
+		e.simple(s, st)
+		return isTerminalCall(e.info, s)
+	}
+}
+
+func (e *flowEngine) simple(s ast.Stmt, st flowState) {
+	if e.hooks.onStmt != nil {
+		e.hooks.onStmt(s, st)
+	}
+}
+
+func (e *flowEngine) control(s ast.Stmt, st flowState) {
+	if e.hooks.onControl != nil {
+		e.hooks.onControl(s, st)
+	}
+}
+
+// loopBody walks a loop body on a clone of the entry state.  Analysis
+// continues after the loop from the entry state (the loop may run zero
+// times); onLoopExit lets analyzers compare the iteration's end state with
+// the entry state.
+func (e *flowEngine) loopBody(loop ast.Stmt, body *ast.BlockStmt, post ast.Stmt, st flowState) {
+	bodySt := st.clone()
+	if e.hooks.onLoopEnter != nil {
+		e.hooks.onLoopEnter(loop, bodySt)
+	}
+	e.loops = append(e.loops, loop)
+	terminated := e.block(body.List, bodySt)
+	e.loops = e.loops[:len(e.loops)-1]
+	if post != nil {
+		e.simple(post, bodySt)
+	}
+	if !terminated && e.hooks.onLoopExit != nil {
+		e.hooks.onLoopExit(loop, bodySt)
+	}
+}
+
+// clauses walks the case/comm clauses of a switch or select, forking the
+// state per clause and joining the fall-through survivors.  Fallthrough
+// statements are treated as ordinary clause ends (conservative).
+func (e *flowEngine) clauses(list []ast.Stmt, st flowState) bool {
+	hasDefault := false
+	var live []flowState
+	for _, c := range list {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		cs := st.clone()
+		if comm, ok := c.(*ast.CommClause); ok && comm.Comm != nil {
+			if e.hooks.onComm != nil {
+				e.hooks.onComm(comm.Comm, cs)
+			} else {
+				e.simple(comm.Comm, cs)
+			}
+		}
+		if !e.block(body, cs) {
+			live = append(live, cs)
+		}
+	}
+	if len(live) == 0 {
+		// Every clause leaves the function.  Without a default clause a
+		// switch can still skip every case; a select cannot.
+		return hasDefault || len(list) > 0 && isComm(list[0])
+	}
+	merged := live[0]
+	for _, other := range live[1:] {
+		merged.merge(other)
+	}
+	if !hasDefault {
+		merged.merge(st.clone())
+	}
+	st.assign(merged)
+	return false
+}
+
+func isComm(s ast.Stmt) bool {
+	_, ok := s.(*ast.CommClause)
+	return ok
+}
+
+// hasLoopBreak reports whether body contains an unlabeled break binding to
+// this loop (not to a nested loop, switch or select).
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break inside binds elsewhere
+		}
+		return !found
+	}
+	ast.Inspect(body, walk)
+	return found
+}

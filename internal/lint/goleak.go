@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak enforces the no-goroutine-leak contract the cancel tests assert
+// dynamically (goroutine-count baselines around every engine call): a `go
+// func` literal must carry a visible exit signal.  Accepted signals, found
+// anywhere in the literal's body:
+//
+//   - a ctx.Done() / ctx.Err() reference (the goroutine polls or selects on
+//     its context),
+//   - a sync.WaitGroup Done (the spawner joins it),
+//   - a receive from, or range over, a channel (the goroutine ends when the
+//     producer closes or signals a quit channel).
+//
+// A goroutine with none of these runs until the process dies; waive the
+// deliberate ones with `//lint:goleak <why>` on the go statement.
+type GoLeak struct{}
+
+// NewGoLeak returns the analyzer (no package scope: a leaked goroutine is a
+// leak wherever it is spawned).
+func NewGoLeak() *GoLeak { return &GoLeak{} }
+
+// Name implements Analyzer.
+func (*GoLeak) Name() string { return "goleak" }
+
+// Run implements Analyzer.
+func (a *GoLeak) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // `go named(...)`: the callee owns its exit contract
+			}
+			if hasExitSignal(p, lit.Body) {
+				return true
+			}
+			if p.waive(g.Pos(), "goleak", a.Name(), &diags) {
+				return true
+			}
+			diags = append(diags, p.Diag(g.Pos(), a.Name(),
+				"goroutine has no visible exit signal (no ctx.Done/ctx.Err, no WaitGroup Done, no channel receive); join it or give it a quit signal, or waive with //lint:goleak <why>"))
+			return true
+		})
+	}
+	return diags
+}
+
+// hasExitSignal reports whether the goroutine body (at any depth, including
+// worker literals it spawns itself) contains one of the accepted exit
+// signals.
+func hasExitSignal(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if t := p.Info.TypeOf(n.X); t != nil && isContextType(t) {
+				switch n.Sel.Name {
+				case "Done", "Err":
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, _, ok := syncMethod(p.Info, n); ok && (name == "Done" || name == "Wait") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden-fixture harness: each analyzer is run over a small package under
+// testdata/src/<analyzer>/..., and its diagnostics are checked against
+// `// want `+"`regexp`"+` comments in the fixture — every want must be
+// matched by a diagnostic on its line, and every diagnostic must be wanted.
+
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+)
+
+// testLoader returns the process-wide Loader: the "source" importer
+// type-checks each dependency (including the standard library) at most once,
+// so the analyzer tests share that work instead of repeating it.
+func testLoader() *Loader {
+	loaderOnce.Do(func() { sharedLoader = NewLoader() })
+	return sharedLoader
+}
+
+// loadFixture loads testdata/src/<rel> under the import path pkgPath.  The
+// path is chosen by the test: scoped analyzers (detrange, ctxloop) fire only
+// when the suffix matches their package scope.
+func loadFixture(t *testing.T, rel, pkgPath string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	pkg, err := testLoader().Load(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	return pkg
+}
+
+var (
+	wantMarker = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantquoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// testAnalyzer runs a over the fixture and diffs its diagnostics against the
+// fixture's want comments.
+func testAnalyzer(t *testing.T, a Analyzer, rel, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, rel, pkgPath)
+	wants := parseWants(t, pkg)
+	for _, d := range a.Run(pkg) {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s:%d: %s: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants scans every fixture file for `// want` expectation comments.  A
+// want's pattern is a backquoted or double-quoted Go string holding a regexp
+// matched against the diagnostic message; several patterns on one line
+// expect several diagnostics.
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range wantquoted.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want pattern %s: %v", name, i+1, q, err)
+				}
+				wants = append(wants, &expectation{
+					file: filepath.Base(name),
+					line: i + 1,
+					re:   regexp.MustCompile(pat),
+				})
+			}
+		}
+	}
+	return wants
+}

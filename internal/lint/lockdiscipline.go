@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline enforces the stripe-lock rules of the parallel engines
+// (internal/explore's codeTable is the canonical instance): a sync.Mutex or
+// sync.RWMutex acquired in a function must be released on every path out of
+// it (a deferred unlock, or an explicit unlock on each branch), and nothing
+// blocking — channel send or receive, select, sync.WaitGroup.Wait — may run
+// while the lock is held, because a stripe holder that blocks on a channel
+// serviced by another goroutine contending for the same stripe deadlocks
+// the pool.  Waive a deliberate hand-off with `//lint:locks <why>` on the
+// Lock() call.
+type LockDiscipline struct{}
+
+// NewLockDiscipline returns the analyzer (it has no package scope: the rule
+// holds wherever the repo locks).
+func NewLockDiscipline() *LockDiscipline { return &LockDiscipline{} }
+
+// Name implements Analyzer.
+func (*LockDiscipline) Name() string { return "lockdiscipline" }
+
+// Run implements Analyzer.
+func (a *LockDiscipline) Run(p *Package) []Diagnostic {
+	w := &lockWalker{p: p, name: a.Name()}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				w.walkFunc(fn.Body)
+			}
+		}
+		// Function literals (callbacks, goroutine bodies) run under their
+		// own lock state; each is checked as a function of its own.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.walkFunc(lit.Body)
+			}
+			return true
+		})
+	}
+	return dedupDiags(w.diags)
+}
+
+// lockFlow is the abstract state: which lock keys are held, and which have
+// a deferred release registered.  A key is the receiver expression plus a
+// ":r" suffix for read locks, so mu.Lock/mu.Unlock and mu.RLock/mu.RUnlock
+// pair independently.
+type lockFlow struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+}
+
+func newLockFlow() *lockFlow {
+	return &lockFlow{held: make(map[string]token.Pos), deferred: make(map[string]bool)}
+}
+
+func (s *lockFlow) clone() flowState {
+	c := newLockFlow()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+func (s *lockFlow) assign(other flowState) {
+	o := other.(*lockFlow)
+	s.held, s.deferred = o.held, o.deferred
+}
+
+// merge joins two fall-through paths: a lock held on either survives (so a
+// branch that forgets to unlock is still caught at the next exit), and a
+// deferred release on either is honoured.
+func (s *lockFlow) merge(other flowState) {
+	o := other.(*lockFlow)
+	for k, v := range o.held {
+		if _, ok := s.held[k]; !ok {
+			s.held[k] = v
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+type lockWalker struct {
+	p     *Package
+	name  string
+	diags []Diagnostic
+	// loopEntry remembers the held set at loop entry, so locks acquired
+	// inside an iteration that survive to its end are caught.
+	loopEntry map[ast.Stmt]map[string]bool
+}
+
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	w.loopEntry = make(map[ast.Stmt]map[string]bool)
+	e := &flowEngine{info: w.p.Info, hooks: flowHooks{
+		onStmt:      w.onStmt,
+		onControl:   w.onControl,
+		onExit:      w.onExit,
+		onLoopEnter: w.onLoopEnter,
+		onLoopExit:  w.onLoopExit,
+		onComm:      w.onComm,
+	}}
+	e.walkFunc(body, newLockFlow())
+}
+
+func (w *lockWalker) onStmt(s ast.Stmt, fst flowState) {
+	st := fst.(*lockFlow)
+	if d, ok := s.(*ast.DeferStmt); ok {
+		w.registerDefer(d, st)
+		return
+	}
+	w.scanBlocking(s, st)
+	w.applyLockOps(s, st)
+}
+
+// registerDefer records deferred unlocks, including the
+// `defer func() { ...; mu.Unlock() }()` form.
+func (w *lockWalker) registerDefer(d *ast.DeferStmt, st *lockFlow) {
+	record := func(call *ast.CallExpr) {
+		if name, recv, ok := syncMethod(w.p.Info, call); ok {
+			switch name {
+			case "Unlock":
+				st.deferred[types.ExprString(recv)] = true
+			case "RUnlock":
+				st.deferred[types.ExprString(recv)+":r"] = true
+			}
+		}
+	}
+	record(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				record(call)
+			}
+			return true
+		})
+	}
+}
+
+// applyLockOps updates the held set for every Lock/Unlock call in the
+// statement (excluding nested function literals).
+func (w *lockWalker) applyLockOps(s ast.Stmt, st *lockFlow) {
+	inspectNoFuncLit(s, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, recv, ok := syncMethod(w.p.Info, call)
+		if !ok {
+			return
+		}
+		key := types.ExprString(recv)
+		switch name {
+		case "Lock", "RLock":
+			if name == "RLock" {
+				key += ":r"
+			}
+			if w.p.waive(call.Pos(), "locks", w.name, &w.diags) {
+				return
+			}
+			if _, held := st.held[key]; held {
+				w.diags = append(w.diags, w.p.Diag(call.Pos(), w.name,
+					"%s.%s() while the same lock is already held on this path (self-deadlock)",
+					types.ExprString(recv), name))
+				return
+			}
+			st.held[key] = call.Pos()
+		case "Unlock":
+			delete(st.held, key)
+		case "RUnlock":
+			delete(st.held, key+":r")
+		}
+	})
+}
+
+// scanBlocking flags channel operations and other blocking calls reached
+// while any lock is held.
+func (w *lockWalker) scanBlocking(s ast.Stmt, st *lockFlow) {
+	if len(st.held) == 0 {
+		return
+	}
+	if send, ok := s.(*ast.SendStmt); ok {
+		w.blockingDiag(send.Pos(), "channel send", st)
+	}
+	inspectNoFuncLit(s, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blockingDiag(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			if name, _, ok := syncMethod(w.p.Info, n); ok && name == "Wait" {
+				w.blockingDiag(n.Pos(), "sync Wait", st)
+			}
+		}
+	})
+}
+
+func (w *lockWalker) blockingDiag(pos token.Pos, what string, st *lockFlow) {
+	if w.p.waive(pos, "locks", w.name, &w.diags) {
+		return
+	}
+	w.diags = append(w.diags, w.p.Diag(pos, w.name,
+		"%s while holding %s; blocking operations under a stripe lock can deadlock the worker pool",
+		what, heldList(st)))
+}
+
+func (w *lockWalker) onControl(s ast.Stmt, fst flowState) {
+	st := fst.(*lockFlow)
+	if len(st.held) == 0 {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.SelectStmt:
+		// A select with a default clause is a non-blocking poll.
+		if !selectHasDefault(s) {
+			w.blockingDiag(s.Pos(), "select", st)
+		}
+	case *ast.IfStmt:
+		w.scanBlockingExpr(s.Cond, st)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			w.scanBlockingExpr(s.Cond, st)
+		}
+	case *ast.RangeStmt:
+		if t := w.p.Info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.blockingDiag(s.Pos(), "range over channel", st)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			w.scanBlockingExpr(s.Tag, st)
+		}
+	}
+}
+
+func (w *lockWalker) scanBlockingExpr(x ast.Expr, st *lockFlow) {
+	inspectNoFuncLit(&ast.ExprStmt{X: x}, func(n ast.Node) {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			w.blockingDiag(u.Pos(), "channel receive", st)
+		}
+	})
+}
+
+// onComm applies lock effects of a select comm statement without the
+// blocking scan: whether the communication blocks is decided at the select
+// (a default clause makes it a poll), not at the comm.
+func (w *lockWalker) onComm(s ast.Stmt, fst flowState) {
+	w.applyLockOps(s, fst.(*lockFlow))
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if comm, ok := c.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) onExit(s ast.Stmt, fst flowState) {
+	st := fst.(*lockFlow)
+	for key, pos := range st.held {
+		if st.deferred[key] {
+			continue
+		}
+		at := pos
+		kind := "this return path"
+		if s != nil {
+			at = s.Pos()
+		} else {
+			kind = "the fall-through end of the function"
+		}
+		w.diags = append(w.diags, w.p.Diag(at, w.name,
+			"%s locked at %s is not released on %s (defer the unlock or release on every branch)",
+			lockName(key), w.p.Fset.Position(pos), kind))
+	}
+}
+
+func (w *lockWalker) onLoopEnter(loop ast.Stmt, fst flowState) {
+	st := fst.(*lockFlow)
+	entry := make(map[string]bool, len(st.held))
+	for k := range st.held {
+		entry[k] = true
+	}
+	w.loopEntry[loop] = entry
+}
+
+// onLoopExit catches a lock acquired inside the iteration that is still
+// held when the iteration ends (or breaks/continues out): the next
+// iteration would self-deadlock, or the lock leaks with the loop.
+func (w *lockWalker) onLoopExit(loop ast.Stmt, fst flowState) {
+	st := fst.(*lockFlow)
+	entry := w.loopEntry[loop]
+	for key, pos := range st.held {
+		if entry[key] || st.deferred[key] {
+			continue
+		}
+		w.diags = append(w.diags, w.p.Diag(pos, w.name,
+			"%s locked inside the loop body is still held when the iteration ends",
+			lockName(key)))
+	}
+}
+
+func lockName(key string) string {
+	if k, ok := strings.CutSuffix(key, ":r"); ok {
+		return k + " (read lock)"
+	}
+	return key
+}
+
+func heldList(st *lockFlow) string {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, lockName(k))
+	}
+	sort.Strings(keys)
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += ", " + k
+	}
+	return out
+}
+
+// inspectNoFuncLit walks the statement's AST without descending into
+// function literals (their bodies execute under their own state).
+func inspectNoFuncLit(s ast.Stmt, visit func(ast.Node)) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// dedupDiags removes exact duplicates (forked paths can report the same
+// finding twice) while keeping order.
+func dedupDiags(diags []Diagnostic) []Diagnostic {
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

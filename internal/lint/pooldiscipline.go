@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolDiscipline enforces the BitSet free-list contract of the refinement
+// engine (internal/bisim's getSet/putSet pair): a set acquired from the
+// pool must, on every path, either be returned with putSet exactly once or
+// have its ownership transferred (stored into a block, passed to a callee,
+// returned) — and never be returned twice, since a double-put hands the
+// same backing array to two takers and silently corrupts both.
+//
+// The analyzer tracks local variables initialised from a getSet call.
+// Receiver uses (set.CopyFrom, set.And, ...) keep the obligation; any other
+// use — call argument, store, return value, capture by a closure — is an
+// ownership transfer and ends tracking.  Waive a deliberate pattern with
+// `//lint:pool <why>` on the acquisition.
+type PoolDiscipline struct{}
+
+// NewPoolDiscipline returns the analyzer (scoped by the getSet/putSet
+// naming contract rather than by package).
+func NewPoolDiscipline() *PoolDiscipline { return &PoolDiscipline{} }
+
+// Name implements Analyzer.
+func (*PoolDiscipline) Name() string { return "pooldiscipline" }
+
+// Run implements Analyzer.
+func (a *PoolDiscipline) Run(p *Package) []Diagnostic {
+	w := &poolWalker{p: p, name: a.Name()}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				w.walkFunc(fn.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.walkFunc(lit.Body)
+			}
+			return true
+		})
+	}
+	return dedupDiags(w.diags)
+}
+
+type poolStatus int
+
+const (
+	poolLive poolStatus = iota
+	poolReleased
+	poolEscaped
+)
+
+type poolVar struct {
+	status poolStatus
+	acqPos token.Pos
+	// loop is the innermost loop enclosing the acquisition (nil if
+	// function-scoped): the obligation must be discharged before that
+	// loop's iteration ends.
+	loop ast.Stmt
+}
+
+// poolFlow is the abstract state: the status of every tracked pool set.
+type poolFlow struct {
+	vars map[*types.Var]*poolVar
+	// curLoop is the loop whose body is being walked (states cloned for a
+	// loop body carry it; the post-loop state keeps the outer value).
+	curLoop ast.Stmt
+}
+
+func newPoolFlow() *poolFlow { return &poolFlow{vars: make(map[*types.Var]*poolVar)} }
+
+func (s *poolFlow) clone() flowState {
+	c := &poolFlow{vars: make(map[*types.Var]*poolVar, len(s.vars)), curLoop: s.curLoop}
+	for k, v := range s.vars {
+		cv := *v
+		c.vars[k] = &cv
+	}
+	return c
+}
+
+func (s *poolFlow) assign(other flowState) {
+	o := other.(*poolFlow)
+	s.vars, s.curLoop = o.vars, o.curLoop
+}
+
+// merge joins fall-through paths: agreement survives, disagreement (live on
+// one path, released on the other) drops to escaped — conservative, so
+// correlated-branch patterns are not flagged.
+func (s *poolFlow) merge(other flowState) {
+	o := other.(*poolFlow)
+	for k, v := range o.vars {
+		sv, ok := s.vars[k]
+		if !ok {
+			cv := *v
+			s.vars[k] = &cv
+			continue
+		}
+		if sv.status != v.status {
+			sv.status = poolEscaped
+		}
+	}
+}
+
+type poolWalker struct {
+	p     *Package
+	name  string
+	diags []Diagnostic
+}
+
+func (w *poolWalker) walkFunc(body *ast.BlockStmt) {
+	e := &flowEngine{info: w.p.Info, hooks: flowHooks{
+		onStmt:      w.onStmt,
+		onControl:   w.onControl,
+		onExit:      w.onExit,
+		onLoopEnter: w.onLoopEnter,
+		onLoopExit:  w.onLoopExit,
+		onGo:        w.onGo,
+	}}
+	e.walkFunc(body, newPoolFlow())
+}
+
+func (w *poolWalker) onStmt(s ast.Stmt, fst flowState) {
+	st := fst.(*poolFlow)
+	benign := make(map[*ast.Ident]bool)
+
+	// Acquisitions: x := r.getSet() / x = r.getSet().
+	if as, ok := s.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && callSimpleName(call) == "getSet" {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				benign[id] = true
+				if v := w.trackedVar(st, id); v != nil && v.status == poolLive {
+					w.diags = append(w.diags, w.p.Diag(as.Pos(), w.name,
+						"%s reacquired from the pool while the previous set was never released (putSet missing)", id.Name))
+				}
+				if obj := w.varObject(id); obj != nil && !w.p.waive(as.Pos(), "pool", w.name, &w.diags) {
+					st.vars[obj] = &poolVar{status: poolLive, acqPos: as.Pos(), loop: st.curLoop}
+				}
+			}
+		}
+	}
+
+	// Releases: r.putSet(x) — exactly once per acquisition.  A deferred
+	// putSet discharges the obligation for the whole function.
+	releaseIn := s
+	if d, ok := s.(*ast.DeferStmt); ok {
+		releaseIn = &ast.ExprStmt{X: d.Call}
+	}
+	inspectNoFuncLit(releaseIn, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || callSimpleName(call) != "putSet" || len(call.Args) != 1 {
+			return
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		benign[id] = true
+		v := w.trackedVar(st, id)
+		if v == nil {
+			return
+		}
+		switch v.status {
+		case poolLive:
+			v.status = poolReleased
+		case poolReleased:
+			w.diags = append(w.diags, w.p.Diag(call.Pos(), w.name,
+				"%s returned to the pool twice on this path; the second taker shares its backing array", id.Name))
+		}
+	})
+
+	// Receiver/selector uses keep the obligation; anything else transfers
+	// ownership.
+	inspectNoFuncLit(s, func(n ast.Node) {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				benign[id] = true
+			}
+		}
+	})
+	w.escapeScan(s, st, benign)
+}
+
+// onControl escape-scans the header expressions of control statements
+// (conditions, range operands, switch tags); their bodies arrive through
+// the engine's usual statement flow.
+func (w *poolWalker) onControl(s ast.Stmt, fst flowState) {
+	st := fst.(*poolFlow)
+	var x ast.Expr
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		x = s.Cond
+	case *ast.ForStmt:
+		x = s.Cond
+	case *ast.RangeStmt:
+		x = s.X
+	case *ast.SwitchStmt:
+		x = s.Tag
+	}
+	if x == nil {
+		return
+	}
+	header := &ast.ExprStmt{X: x}
+	benign := make(map[*ast.Ident]bool)
+	inspectNoFuncLit(header, func(n ast.Node) {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				benign[id] = true
+			}
+		}
+	})
+	w.escapeScan(header, st, benign)
+}
+
+// escapeScan marks tracked vars used outside the benign forms as escaped —
+// including uses captured by nested function literals.
+func (w *poolWalker) escapeScan(n ast.Node, st *poolFlow, benign map[*ast.Ident]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || benign[id] {
+			return true
+		}
+		if v := w.trackedVar(st, id); v != nil && v.status == poolLive {
+			v.status = poolEscaped
+		}
+		return true
+	})
+}
+
+func (w *poolWalker) varObject(id *ast.Ident) *types.Var {
+	obj := w.p.Info.Defs[id]
+	if obj == nil {
+		obj = w.p.Info.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+func (w *poolWalker) trackedVar(st *poolFlow, id *ast.Ident) *poolVar {
+	obj := w.varObject(id)
+	if obj == nil {
+		return nil
+	}
+	return st.vars[obj]
+}
+
+func (w *poolWalker) onExit(s ast.Stmt, fst flowState) {
+	st := fst.(*poolFlow)
+	for obj, v := range st.vars {
+		if v.status != poolLive {
+			continue
+		}
+		at := v.acqPos
+		if s != nil {
+			at = s.Pos()
+		}
+		w.diags = append(w.diags, w.p.Diag(at, w.name,
+			"%s acquired from the pool at %s is not released on this path (putSet missing)",
+			obj.Name(), w.p.Fset.Position(v.acqPos)))
+	}
+}
+
+func (w *poolWalker) onLoopEnter(loop ast.Stmt, fst flowState) {
+	fst.(*poolFlow).curLoop = loop
+}
+
+// onLoopExit checks obligations scoped to the iteration: a set acquired
+// inside the loop body must be dead before the iteration ends, or every
+// iteration leaks one set from the pool.
+func (w *poolWalker) onLoopExit(loop ast.Stmt, fst flowState) {
+	st := fst.(*poolFlow)
+	for obj, v := range st.vars {
+		if v.status == poolLive && v.loop == loop {
+			w.diags = append(w.diags, w.p.Diag(v.acqPos, w.name,
+				"%s acquired from the pool inside the loop body is not released before the iteration ends", obj.Name()))
+			v.status = poolEscaped // report once per acquisition
+		}
+	}
+}
+
+// onGo treats any tracked var referenced by a go statement as escaped: the
+// goroutine owns it now.
+func (w *poolWalker) onGo(g *ast.GoStmt, fst flowState) {
+	w.escapeScan(g, fst.(*poolFlow), nil)
+}

@@ -1,0 +1,5 @@
+// Package clean is a fixture with no findings, for driver exit-code tests.
+package clean
+
+// Double doubles n.
+func Double(n int) int { return 2 * n }

@@ -1,0 +1,132 @@
+// Package mc is the ctxloop golden fixture.  Its import path suffix
+// (internal/mc) puts it inside the analyzer's engine-package scope.
+package mc
+
+import (
+	"context"
+	"fmt"
+)
+
+func work() {}
+
+func process(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	work()
+	_ = n
+	return nil
+}
+
+// Sweep does engine work with no checkpoint: cancellation cannot interrupt it.
+func Sweep(ctx context.Context, items []int) {
+	for range items { // want `never reaches a ctx checkpoint`
+		work()
+	}
+}
+
+// Quadratic nests loops, which is engine work even without calls.
+func Quadratic(ctx context.Context, items []int) int {
+	total := 0
+	for range items { // want `never reaches a ctx checkpoint`
+		for _, v := range items {
+			total += v
+		}
+	}
+	return total
+}
+
+// Severed has a ctx to thread but hands the callee a fresh one.
+func Severed(ctx context.Context, items []int) error {
+	for _, n := range items {
+		if err := process(context.Background(), n); err != nil { // want `passes context\.Background\(\) to process`
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepPolled polls ctx.Err each iteration.
+func SweepPolled(ctx context.Context, items []int) error {
+	for range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	return nil
+}
+
+// SweepDelegated hands ctx to the callee, which owns the checkpoint.
+func SweepDelegated(ctx context.Context, items []int) error {
+	for _, n := range items {
+		if err := process(ctx, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepHelper checkpoints through a local closure, resolved by the analyzer.
+func SweepHelper(ctx context.Context, items []int) bool {
+	bail := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	for range items {
+		if bail() {
+			return false
+		}
+		work()
+	}
+	return true
+}
+
+// Drain consumes a channel; the producer owns the ctx discipline.
+func Drain(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+		work()
+	}
+	return total
+}
+
+// Format only calls the standard library: one cheap pass, not engine work.
+func Format(ctx context.Context, items []int) []string {
+	var out []string
+	for _, v := range items {
+		out = append(out, fmt.Sprint(v))
+	}
+	return out
+}
+
+// MakeJobs builds closures; constructing a closure is not doing work.
+func MakeJobs(ctx context.Context, items []int) []func() {
+	var jobs []func()
+	for _, v := range items {
+		v := v
+		jobs = append(jobs, func() { work(); _ = v })
+	}
+	return jobs
+}
+
+// SweepWaived is provably short; the waiver records why.
+func SweepWaived(ctx context.Context, items []int) {
+	//lint:ctxloop three fixed rounds, provably short
+	for i := 0; i < 3; i++ {
+		work()
+	}
+}
+
+// sweepInner is unexported: an internal helper whose exported caller owns
+// the checkpoint discipline.
+func sweepInner(ctx context.Context, items []int) {
+	for range items {
+		work()
+	}
+}

@@ -1,0 +1,114 @@
+// Package ring is the detrange golden fixture.  Its import path suffix
+// (internal/ring) puts it inside the analyzer's deterministic-ordering scope.
+package ring
+
+import "sort"
+
+// Keys leaks the randomized visit order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration over m has non-deterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Any leaks whichever key happened to be visited first.
+func Any(m map[string]int) (string, bool) {
+	for k := range m { // want `map iteration over m has non-deterministic order`
+		return k, true
+	}
+	return "", false
+}
+
+// Count aggregates order-insensitively: counting commutes.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sum aggregates order-insensitively: addition commutes.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Max uses the guarded min/max-update idiom, which commutes.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Members inserts into another map: set-insert commutes.
+func Members(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Prune deletes while ranging: set-remove commutes.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+type bitset struct{ bits []uint64 }
+
+// Add is recognised as a set-insert method.
+func (b *bitset) Add(k string) { b.bits = append(b.bits, uint64(len(k))) }
+
+// Collect inserts each key into a set; inserts commute.
+func Collect(m map[string]bool, out *bitset) {
+	for k := range m {
+		out.Add(k)
+	}
+}
+
+// HasZero early-returns a value that does not depend on visit order.
+func HasZero(m map[string]int) bool {
+	for _, v := range m {
+		if v == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedKeys collects then sorts, restoring determinism; the waiver records
+// why the raw iteration is fine.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:ordered keys are sorted immediately below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BareWaiver suppresses the original finding but is itself flagged: every
+// waiver needs a written justification.
+func BareWaiver(m map[string]int) []string {
+	var out []string
+	//lint:ordered
+	for k := range m { // want `waiver needs a written justification`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package spawn is the goleak golden fixture: every `go func` literal must
+// carry a visible exit signal.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Fire spawns a goroutine that runs until the process dies.
+func Fire() {
+	go func() { // want `goroutine has no visible exit signal`
+		for {
+			work()
+		}
+	}()
+}
+
+// WithCtx selects on ctx.Done: cancellation ends the goroutine.
+func WithCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// WithWG is joined by its spawner through the WaitGroup.
+func WithWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Consumer ends when the producer closes the channel.
+func Consumer(ch <-chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// WithQuit blocks on an explicit quit signal.
+func WithQuit(quit <-chan struct{}) {
+	go func() {
+		<-quit
+		work()
+	}()
+}
+
+// Named spawns a named function, which owns its exit contract.
+func Named() {
+	go work()
+}
+
+// Waived is a deliberate process-lifetime goroutine; the waiver records why.
+func Waived() {
+	//lint:goleak debug listener lives for the whole process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// Bare suppresses the finding but is itself flagged: waivers need reasons.
+func Bare() {
+	//lint:goleak
+	go func() { // want `waiver needs a written justification`
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,161 @@
+// Package striped is the lockdiscipline golden fixture, modelled on the
+// stripe-locked code table of the parallel explorer.
+package striped
+
+import "sync"
+
+type stripe struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Leak returns early without releasing the stripe.
+func Leak(s *stripe, drop bool) int {
+	s.mu.Lock()
+	if drop {
+		return 0 // want `s\.mu locked at .+ is not released on this return path`
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// FallThrough reaches the end of the function still holding the stripe.
+func FallThrough(s *stripe) {
+	s.mu.Lock() // want `not released on the fall-through end of the function`
+	s.n++
+}
+
+// Deferred releases on every path through one defer.
+func Deferred(s *stripe, drop bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if drop {
+		return 0
+	}
+	return s.n
+}
+
+// Branches releases explicitly on each branch.
+func Branches(s *stripe, drop bool) int {
+	s.mu.Lock()
+	if drop {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// Switchy releases on every switch arm.
+func Switchy(s *stripe, mode int) {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+}
+
+// PanicPath panics while holding; the process dies with the lock, which is
+// not a leak the analyzer reports.
+func PanicPath(s *stripe, bad bool) {
+	s.mu.Lock()
+	if bad {
+		panic("corrupt stripe")
+	}
+	s.mu.Unlock()
+}
+
+// Relock self-deadlocks: the same stripe is acquired twice on one path.
+func Relock(s *stripe) {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock\(\) while the same lock is already held`
+	s.mu.Unlock()
+}
+
+// SendHeld blocks on a channel send while holding the stripe.
+func SendHeld(s *stripe, ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// WaitHeld joins a WaitGroup while holding the stripe.
+func WaitHeld(s *stripe, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `sync Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// Blocked selects with no default while holding: it can block indefinitely.
+func Blocked(s *stripe, ch chan int) {
+	s.mu.Lock()
+	select { // want `select while holding s\.mu`
+	case v := <-ch:
+		s.n = v
+	}
+	s.mu.Unlock()
+}
+
+// Poll selects with a default clause: a non-blocking poll is fine under the
+// stripe.
+func Poll(s *stripe, ch chan int) {
+	s.mu.Lock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// LoopLeak acquires inside the iteration and never releases before it ends.
+func LoopLeak(ss []*stripe) {
+	for _, s := range ss {
+		s.mu.Lock() // want `s\.mu locked inside the loop body is still held when the iteration ends`
+		_ = s.n
+	}
+}
+
+// BreakHeld leaves the loop through break while still holding the stripe.
+func BreakHeld(ss []*stripe) {
+	for _, s := range ss {
+		s.mu.Lock() // want `s\.mu locked inside the loop body is still held when the iteration ends`
+		if s.n > 0 {
+			break
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ReadSide pairs RLock with RUnlock.
+func ReadSide(t *table) int {
+	t.mu.RLock()
+	n := t.n
+	t.mu.RUnlock()
+	return n
+}
+
+// Mismatched releases the write side of a read-held RWMutex: the read lock
+// stays held.
+func Mismatched(t *table) int {
+	t.mu.RLock()
+	n := t.n
+	t.mu.Unlock()
+	return n // want `t\.mu \(read lock\) locked at .+ is not released on this return path`
+}
+
+// Handoff deliberately sends while holding; the waiver records the protocol.
+func Handoff(s *stripe, ch chan int) {
+	//lint:locks handoff protocol: the receiver releases after draining
+	s.mu.Lock()
+	ch <- s.n
+	s.mu.Unlock()
+}

@@ -1,0 +1,124 @@
+// Package pool is the pooldiscipline golden fixture, modelled on the BitSet
+// free list of the refinement engine (getSet/putSet ownership contract).
+package pool
+
+type bitset struct{ words []uint64 }
+
+func (b *bitset) Set(i int)          { b.words = append(b.words, uint64(i)) }
+func (b *bitset) CopyFrom(o *bitset) { b.words = append(b.words[:0], o.words...) }
+
+type refiner struct{ free []*bitset }
+
+func (r *refiner) getSet() *bitset {
+	if n := len(r.free); n > 0 {
+		s := r.free[n-1]
+		r.free = r.free[:n-1]
+		return s
+	}
+	return &bitset{}
+}
+
+func (r *refiner) putSet(b *bitset) { r.free = append(r.free, b) }
+
+func (r *refiner) consume(b *bitset) { r.putSet(b) }
+
+type block struct{ set *bitset }
+
+// Balanced acquires and releases exactly once.
+func Balanced(r *refiner, n int) {
+	s := r.getSet()
+	s.Set(n)
+	r.putSet(s)
+}
+
+// EarlyReturn skips the release on one path.
+func EarlyReturn(r *refiner, n int) int {
+	s := r.getSet()
+	if n > 0 {
+		return n // want `s acquired from the pool at .+ is not released on this path`
+	}
+	r.putSet(s)
+	return 0
+}
+
+// DoublePut returns the same set twice; the second taker shares its backing
+// array.
+func DoublePut(r *refiner) {
+	s := r.getSet()
+	r.putSet(s)
+	r.putSet(s) // want `s returned to the pool twice on this path`
+}
+
+// Reacquire overwrites a live set, losing it from the pool.
+func Reacquire(r *refiner) {
+	s := r.getSet()
+	s = r.getSet() // want `s reacquired from the pool while the previous set was never released`
+	r.putSet(s)
+}
+
+// Transfer moves ownership into a block; the block frees it later.
+func Transfer(r *refiner) *block {
+	s := r.getSet()
+	s.Set(1)
+	return &block{set: s}
+}
+
+// Consume passes the set to a callee, transferring ownership.
+func Consume(r *refiner) {
+	s := r.getSet()
+	r.consume(s)
+}
+
+// DeferredPut discharges the obligation for every path at once.
+func DeferredPut(r *refiner, n int) int {
+	s := r.getSet()
+	defer r.putSet(s)
+	s.Set(n)
+	if n > 0 {
+		return n
+	}
+	return 0
+}
+
+// LoopLeak acquires each iteration without releasing: one set leaks per
+// element.
+func LoopLeak(r *refiner, items []int) {
+	for _, n := range items {
+		s := r.getSet() // want `s acquired from the pool inside the loop body is not released before the iteration ends`
+		s.Set(n)
+	}
+}
+
+// LoopBalanced releases before each iteration ends.
+func LoopBalanced(r *refiner, items []int) {
+	for _, n := range items {
+		s := r.getSet()
+		s.Set(n)
+		r.putSet(s)
+	}
+}
+
+// Spawn hands the set to a goroutine, which owns it from then on.
+func Spawn(r *refiner) {
+	s := r.getSet()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.putSet(s)
+	}()
+	<-done
+}
+
+// Waived transfers ownership to the caller; the waiver records the contract.
+func Waived(r *refiner) *bitset {
+	//lint:pool ownership transfers to the caller, which returns the set after use
+	s := r.getSet()
+	return s
+}
+
+// BareWaiver suppresses the finding but is itself flagged.
+func BareWaiver(r *refiner) *bitset {
+	//lint:pool
+	s := r.getSet() // want `waiver needs a written justification`
+	return s
+}
