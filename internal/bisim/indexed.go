@@ -127,6 +127,11 @@ func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair
 	leftRed := make(map[int]*kripke.Structure)
 	rightRed := make(map[int]*kripke.Structure)
 	for _, p := range in {
+		// Each distinct index value costs a full ReduceNormalized pass, so
+		// the dedup loop itself is a batch boundary.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if seen[p] {
 			continue
 		}

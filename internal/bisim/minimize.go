@@ -65,7 +65,12 @@ func Minimize(ctx context.Context, m *kripke.Structure, opts Options) (*Minimize
 			parent[ra] = rb
 		}
 	}
-	for _, p := range res.Relation.Pairs() {
+	for i, p := range res.Relation.Pairs() {
+		if i&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		union(int(p.S), int(p.T))
 	}
 
@@ -74,6 +79,11 @@ func Minimize(ctx context.Context, m *kripke.Structure, opts Options) (*Minimize
 	classOf := make([]kripke.State, n)
 	var classes [][]kripke.State
 	for s := 0; s < n; s++ {
+		if s&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		root := find(s)
 		ci, ok := classIndex[root]
 		if !ok {
@@ -87,6 +97,11 @@ func Minimize(ctx context.Context, m *kripke.Structure, opts Options) (*Minimize
 
 	b := kripke.NewBuilder(m.Name() + "/min")
 	for ci := range classes {
+		if ci&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rep := classes[ci][0]
 		s := b.AddState(m.Label(rep)...)
 		// Carry the representative's "exactly one" truth values over: when m
@@ -96,11 +111,17 @@ func Minimize(ctx context.Context, m *kripke.Structure, opts Options) (*Minimize
 			return nil, err
 		}
 	}
+	//lint:ctxloop bounded by the structure's index count, a handful of values
 	for _, i := range m.IndexValues() {
 		b.DeclareIndex(i)
 	}
 	// Cross edges between distinct classes.
 	for s := 0; s < n; s++ {
+		if s&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, t := range m.Succ(kripke.State(s)) {
 			cs, ct := classOf[s], classOf[t]
 			if cs != ct {
@@ -114,6 +135,9 @@ func Minimize(ctx context.Context, m *kripke.Structure, opts Options) (*Minimize
 	// class contains a cycle (so the original structure really can stutter
 	// inside the class forever).
 	for ci, members := range classes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if classHasCycle(m, members, classOf, kripke.State(ci)) {
 			if err := b.AddTransition(kripke.State(ci), kripke.State(ci)); err != nil {
 				return nil, err
