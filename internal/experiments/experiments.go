@@ -206,6 +206,9 @@ func Fig41(ctx context.Context, maxN int) (*Table, error) {
 	}
 	structures := make([]*kripke.Structure, maxN+1)
 	for n := 1; n <= maxN; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := paperfig.Fig41(n)
 		if err != nil {
 			return nil, err
@@ -296,6 +299,9 @@ func RingChecks(ctx context.Context, maxR int) (*Table, error) {
 	}
 	checkers := map[int]*mc.Checker{}
 	for r := 2; r <= maxR; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		inst, err := ring.Build(r)
 		if err != nil {
 			return nil, err
@@ -622,6 +628,9 @@ func NestingConjecture(ctx context.Context, maxK int) (*Table, error) {
 	maxN := maxK + 3
 	structures := make([]*kripke.Structure, maxN+1)
 	for n := 1; n <= maxN; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := paperfig.Fig41(n)
 		if err != nil {
 			return nil, err
