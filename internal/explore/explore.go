@@ -299,6 +299,9 @@ func Explore(ctx context.Context, def Def, opts Options) (*Space, error) {
 	sp.succ = make([]int32, 0, totalEdges)
 	sp.off = make([]int64, 1, numStates+1)
 	for li, seg := range rowSegs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp.succ = append(sp.succ, seg...)
 		for _, n := range cntSegs[li] {
 			sp.off = append(sp.off, sp.off[len(sp.off)-1]+int64(n))
@@ -333,6 +336,7 @@ func BuildFromSpace(ctx context.Context, def Def, sp *Space) (*kripke.Structure,
 	n := sp.NumStates()
 	b := kripke.NewBuilder(def.Name)
 	b.Grow(n, sp.NumTransitions())
+	//lint:ctxloop bounded by Def.NumIndices, a handful of process indices
 	for i := 1; i <= def.NumIndices; i++ {
 		b.DeclareIndex(i)
 	}
@@ -350,6 +354,11 @@ func BuildFromSpace(ctx context.Context, def Def, sp *Space) (*kripke.Structure,
 		return nil, err
 	}
 	for s := 0; s < n; s++ {
+		if s&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := b.AddTransitionRow(kripke.State(s), sp.Succ(int32(s))); err != nil {
 			return nil, err
 		}
