@@ -197,6 +197,7 @@ func Unfold(ctx context.Context, q *Quotient, maxStates int) (*Unfolded, error) 
 	u := &Unfolded{q: q, off: []int64{0}, perms: slices.Clone(q.perms)}
 	index := make(map[uint64]int32)
 	permIx := make(map[string]int32)
+	//lint:ctxloop seeds the permutation index, bounded by the tracked group elements
 	for i, p := range q.perms {
 		permIx[permKey(p)] = int32(i)
 	}
@@ -369,6 +370,9 @@ func (q *Quotient) Verify(ctx context.Context, u *Unfolded, sample int) (*Certif
 	}
 	total := 0
 	for _, rep := range q.reps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		total += q.g.OrbitSize(rep)
 	}
 	cert.OrbitClosed = total == u.NumStates()
