@@ -139,6 +139,7 @@ func VerifyFamily(ctx context.Context, f Family, specs []Spec, opts ...Option) (
 	}
 	cfg := buildConfig(opts)
 	coreSpecs := make([]core.Spec, len(specs))
+	//lint:ctxloop spec validation only, bounded by the caller's spec list
 	for i, s := range specs {
 		if !s.Formula.IsValid() {
 			return nil, fmt.Errorf("podc: VerifyFamily: specification %q has no formula", s.Name)

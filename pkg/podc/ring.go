@@ -207,6 +207,9 @@ func RingLocalCheck(ctx context.Context, variant RingRelationVariant, ringSize, 
 	// would under-report.
 	states := craftedRingStates(ringSize)
 	for len(states) < samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		states = append(states, ring.RandomReachableState(ringSize, next))
 	}
 	rep := &RingLocalCheckReport{Variant: variant.String(), RingSize: ringSize, SampledStates: len(states)}

@@ -539,6 +539,7 @@ func (s *Session) Experiments(ctx context.Context, ids []string) iter.Seq[Experi
 		if len(ids) == 0 {
 			jobs = experiments.StandardJobs()
 		} else {
+			//lint:ctxloop job-list validation, bounded by the requested experiment ids
 			for _, id := range ids {
 				job, ok := findExperimentJob(id)
 				if !ok {
