@@ -46,6 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
+		//lint:goleak debug pprof listener is deliberately process-lifetime
 		go func() {
 			mux := http.NewServeMux()
 			mux.HandleFunc("/debug/pprof/", pprof.Index)

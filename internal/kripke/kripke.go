@@ -333,6 +333,7 @@ func (m *Structure) Validate() error {
 
 func sortedStrings(set map[string]bool) []string {
 	out := make([]string, 0, len(set))
+	//lint:ordered keys are collected then sorted immediately below
 	for k := range set {
 		out = append(out, k)
 	}
@@ -632,6 +633,7 @@ func (b *Builder) BuildPartial() (*Structure, error) {
 	m.props = &propCache{}
 
 	m.indexValues = make([]int, 0, len(b.indexValues))
+	//lint:ordered index values are collected then sorted immediately below
 	for i := range b.indexValues {
 		m.indexValues = append(m.indexValues, i)
 	}
