@@ -28,6 +28,14 @@ if [ "${1:-}" = "--smoke" ]; then
     benchtime="1x"
 fi
 
+# A tree that violates the engine invariants (see DESIGN.md §8) does not get
+# a recorded baseline: numbers from a build with nondeterministic ordering or
+# broken cancellation are not comparable across PRs.
+if ! go run ./cmd/repolint ./...; then
+    echo "bench.sh: repolint reports findings; fix or waive them before recording $out" >&2
+    exit 1
+fi
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

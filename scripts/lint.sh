@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# lint.sh — the shared lint gate: gofmt, go vet, and the repository's own
+# static-analysis suite (cmd/repolint, see DESIGN.md §8).  One script so the
+# lint and docs CI jobs and scripts/bench.sh cannot drift apart on what
+# "clean" means.
+#
+# Usage:
+#   scripts/lint.sh                      # gofmt over the whole tree
+#   scripts/lint.sh pkg internal/family  # restrict gofmt to these dirs
+#
+# go vet and repolint always cover ./... — formatting scope is the only
+# parameter, because the docs job checks formatting of its own surface only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fmt_targets=("$@")
+if [ ${#fmt_targets[@]} -eq 0 ]; then
+    fmt_targets=(.)
+fi
+
+unformatted="$(gofmt -l "${fmt_targets[@]}")"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go run ./cmd/repolint ./...
