@@ -269,27 +269,35 @@ func BenchmarkCorrespondenceM3ToMr(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true}
+	// The workers dimension pins the parallel refinement engine against the
+	// sequential one in BENCH_pr8.json: workers=1 keeps Compute fully
+	// sequential, workers>1 switches it onto the batched drain and the
+	// word-at-a-time degree pass of internal/bisim/parallel.go (the packed
+	// engine engages on the worker budget, not on the core count, so the
+	// comparison is meaningful on any machine).
 	for _, r := range []int{4, 6, 8} {
-		r := r
-		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
-			large, err := ring.Build(r)
-			if err != nil {
-				b.Fatal(err)
-			}
-			in := ring.CutoffIndexRelation(ring.CutoffSize, r)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := bisim.IndexedCompute(context.Background(), small.M, large.M, in, opts)
+		for _, workers := range []int{1, 8} {
+			r, workers := r, workers
+			b.Run(fmt.Sprintf("r=%d/workers=%d", r, workers), func(b *testing.B) {
+				opts := bisim.Options{OneProps: []string{ring.PropToken}, ReachableOnly: true, Workers: workers}
+				large, err := ring.Build(r)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if !res.Corresponds() {
-					b.Fatal("cutoff correspondence unexpectedly fails")
+				in := ring.CutoffIndexRelation(ring.CutoffSize, r)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := bisim.IndexedCompute(context.Background(), small.M, large.M, in, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Corresponds() {
+						b.Fatal("cutoff correspondence unexpectedly fails")
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -148,3 +148,83 @@ func TestComputeDeadline(t *testing.T) {
 		t.Errorf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
+
+// TestParallelComputeAlreadyCancelled: the batched parallel engine observes
+// an already-cancelled context before doing any work.
+func TestParallelComputeAlreadyCancelled(t *testing.T) {
+	m := bigStructure(t, 6, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bisim.Compute(ctx, m, m, bisim.Options{Workers: 8}); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel engine: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelComputeCancelledMidway: cancelling while the parallel engine's
+// batch workers run makes Compute return promptly with ctx.Err() and joins
+// every claim-loop goroutine first (parallelClaim waits on its pool before
+// propagating the error).
+func TestParallelComputeCancelledMidway(t *testing.T) {
+	m := bigStructure(t, 10, 24)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := bisim.Compute(ctx, m, m, bisim.Options{Workers: 8})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// nil is possible if the computation beat the cancellation; any
+		// non-nil error must be the context's.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled (or completion)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel Compute did not return promptly after cancellation")
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestParallelComputeDeadline: an expired deadline surfaces through the
+// parallel engine as DeadlineExceeded.
+func TestParallelComputeDeadline(t *testing.T) {
+	m := bigStructure(t, 10, 24)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	if _, err := bisim.Compute(ctx, m, m, bisim.Options{Workers: 8}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestParallelIndexedComputeCancelled: IndexedCompute driving the parallel
+// per-pair engine (Workers > 1 both sizes the pool and switches the
+// refinement internals) still stops promptly and leak-free when cancelled.
+func TestParallelIndexedComputeCancelled(t *testing.T) {
+	m := bigStructure(t, 8, 16)
+	in := []bisim.IndexPair{}
+	for i := 0; i < 8; i++ {
+		in = append(in, bisim.IndexPair{I: 0, I2: 0})
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := bisim.IndexedCompute(ctx, m, m, in, bisim.Options{Workers: 8})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled (or completion)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel IndexedCompute did not return promptly after cancellation")
+	}
+	settleGoroutines(t, baseline)
+}

@@ -160,6 +160,11 @@ func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one scratch arena, reset between pair
+			// computes, so a run over many index pairs reuses the engine's
+			// big flat buffers instead of reallocating them per pair.
+			wOpts := opts
+			wOpts.arena = &computeArena{}
 			for {
 				if err := cancelled(ctx); err != nil {
 					return
@@ -169,7 +174,8 @@ func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair
 					return
 				}
 				p := todo[k]
-				r, err := Compute(ctx, leftRed[p.I], rightRed[p.I2], opts)
+				wOpts.arena.reset()
+				r, err := Compute(ctx, leftRed[p.I], rightRed[p.I2], wOpts)
 				if err != nil {
 					errs[k] = fmt.Errorf("bisim: IndexedCompute(%d,%d): %w", p.I, p.I2, err)
 					return

@@ -1,0 +1,195 @@
+package bisim_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+)
+
+// This is the PR's differential battery for the parallel refinement engine:
+// bisim.Compute with Options.Workers ∈ {2, 4, 8} must be *byte-identical* to
+// the sequential engine (Workers ≤ 1) — the same pair set, the same minimal
+// degree for every pair, the same verdicts, the same work counters and the
+// same evidence formulas — and both must agree with the nested-fixpoint
+// oracle ComputeFixpoint.  The batched drain replays every partition
+// mutation in sequential order and the packed degree pass reproduces the
+// worklist's strict round threshold, so nothing here is allowed to depend on
+// the goroutine schedule; running the battery under -race (CI does) also
+// makes it the data-race probe for the worker pool.
+
+var differentialWorkerCounts = []int{1, 2, 4, 8}
+
+// assertIdenticalResults is assertSameResult plus the work counters, which
+// the parallel engine must also reproduce exactly.
+func assertIdenticalResults(t *testing.T, label string, got, want *bisim.Result) {
+	t.Helper()
+	assertSameResult(t, label, got, want)
+	if got.OuterIterations != want.OuterIterations || got.DegreeRounds != want.DegreeRounds {
+		t.Fatalf("%s: work counters differ: parallel={outer %d rounds %d} sequential={outer %d rounds %d}",
+			label, got.OuterIterations, got.DegreeRounds, want.OuterIterations, want.DegreeRounds)
+	}
+}
+
+// assertWorkersImmaterial computes the correspondence sequentially, with the
+// oracle, and at every worker count, and fails unless all answers are
+// identical (counters included for the engine runs, degrees only for the
+// oracle, whose outer-loop accounting legitimately differs).
+func assertWorkersImmaterial(t *testing.T, label string, m, m2 *kripke.Structure, opts bisim.Options) {
+	t.Helper()
+	ctx := context.Background()
+	seqOpts := opts
+	seqOpts.Workers = 0
+	want, err := bisim.Compute(ctx, m, m2, seqOpts)
+	if err != nil {
+		t.Fatalf("%s: sequential Compute: %v", label, err)
+	}
+	oracle, err := bisim.ComputeFixpoint(ctx, m, m2, seqOpts)
+	if err != nil {
+		t.Fatalf("%s: ComputeFixpoint: %v", label, err)
+	}
+	assertSameResult(t, label+"/oracle", want, oracle)
+	for _, w := range differentialWorkerCounts {
+		pOpts := opts
+		pOpts.Workers = w
+		got, err := bisim.Compute(ctx, m, m2, pOpts)
+		if err != nil {
+			t.Fatalf("%s workers=%d: Compute: %v", label, w, err)
+		}
+		assertIdenticalResults(t, fmt.Sprintf("%s workers=%d", label, w), got, want)
+	}
+}
+
+func TestParallelRefinerMatchesSequentialOnNamedStructures(t *testing.T) {
+	cycle := twoStateCycle(t)
+	for stutter := 0; stutter <= 4; stutter++ {
+		other := stutteredCycle(t, stutter)
+		assertWorkersImmaterial(t, fmt.Sprintf("cycle/stutter=%d", stutter), cycle, other, bisim.Options{})
+		assertWorkersImmaterial(t, fmt.Sprintf("stutter=%d/self", stutter), other, other, bisim.Options{})
+	}
+}
+
+func TestParallelRefinerMatchesSequentialOnRandomStructures(t *testing.T) {
+	r := rand.New(rand.NewSource(20260807))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for iter := 0; iter < iters; iter++ {
+		props := 1 + r.Intn(2)
+		m1 := randomStructure(r, 2+r.Intn(12), props, "left")
+		m2 := randomStructure(r, 2+r.Intn(12), props, "right")
+		label := fmt.Sprintf("iter=%d", iter)
+		assertWorkersImmaterial(t, label, m1, m2, bisim.Options{})
+		assertWorkersImmaterial(t, label+"/reachable-only", m1, m2, bisim.Options{ReachableOnly: true})
+	}
+}
+
+func TestParallelRefinerMatchesSequentialOnSelfComparison(t *testing.T) {
+	// Self-comparison is the quotienting workload (bisim.Minimize): large
+	// same-block groups, lots of exact matches in round 0.
+	r := rand.New(rand.NewSource(80620262))
+	for iter := 0; iter < 25; iter++ {
+		m := randomStructure(r, 2+r.Intn(10), 2, "self")
+		assertWorkersImmaterial(t, fmt.Sprintf("self iter=%d", iter), m, m, bisim.Options{})
+	}
+}
+
+func TestParallelRefinerMatchesSequentialWithOneProps(t *testing.T) {
+	// "Exactly one" atoms in the label comparison exercise the interned
+	// class keys and the indexed-correspondence block shapes.
+	r := rand.New(rand.NewSource(31415))
+	for iter := 0; iter < 20; iter++ {
+		m1 := randomStructure(r, 3+r.Intn(8), 2, "left")
+		m2 := randomStructure(r, 3+r.Intn(8), 2, "right")
+		opts := bisim.Options{OneProps: []string{"a"}}
+		assertWorkersImmaterial(t, fmt.Sprintf("oneprops iter=%d", iter), m1, m2, opts)
+	}
+}
+
+// TestParallelRefinerWideBlockFallsBack drives a block with more than 64
+// left states into the degree pass: the packed word-at-a-time finish must
+// refuse (its rank masks hold at most 64 lefts per block) and hand over to
+// the scalar maskedFinish with identical output.
+func TestParallelRefinerWideBlockFallsBack(t *testing.T) {
+	b := kripke.NewBuilder("wide")
+	const n = 70
+	for i := 0; i < n; i++ {
+		b.AddState(kripke.P("a"))
+	}
+	for i := 0; i < n; i++ {
+		must(t, b.AddTransition(kripke.State(i), kripke.State((i+1)%n)))
+	}
+	must(t, b.SetInitial(0))
+	wide := build(t, b)
+
+	b2 := kripke.NewBuilder("loop")
+	b2.AddState(kripke.P("a"))
+	must(t, b2.AddTransition(0, 0))
+	must(t, b2.SetInitial(0))
+	loop := build(t, b2)
+
+	assertWorkersImmaterial(t, "wide-block", wide, loop, bisim.Options{})
+	assertWorkersImmaterial(t, "wide-block/self", wide, wide, bisim.Options{})
+}
+
+// TestParallelRefinerGenericDegreePath forces the generic prune-and-finish
+// tail (the packed and masked finishes both step aside) under every worker
+// count by shrinking the mask limit to zero.
+func TestParallelRefinerGenericDegreePath(t *testing.T) {
+	old := bisim.SetMaskDegreeBlockLimit(0)
+	defer bisim.SetMaskDegreeBlockLimit(old)
+	r := rand.New(rand.NewSource(271828))
+	for iter := 0; iter < 10; iter++ {
+		m1 := randomStructure(r, 2+r.Intn(8), 2, "left")
+		m2 := randomStructure(r, 2+r.Intn(8), 2, "right")
+		assertWorkersImmaterial(t, fmt.Sprintf("generic iter=%d", iter), m1, m2, bisim.Options{})
+	}
+}
+
+// TestParallelEvidenceByteIdentical pins the diagnostics: for structures
+// that fail to correspond, the distinguishing evidence formula produced via
+// a parallel Compute must render byte-for-byte the same as the sequential
+// one at every worker count.
+func TestParallelEvidenceByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(16180))
+	cases := 0
+	for iter := 0; iter < 40 && cases < 8; iter++ {
+		m1 := randomStructure(r, 3+r.Intn(8), 2, "left")
+		m2 := randomStructure(r, 3+r.Intn(8), 2, "right")
+		seq, err := bisim.Compute(ctx, m1, m2, bisim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Corresponds() {
+			continue
+		}
+		cases++
+		wantEv, err := bisim.Explain(ctx, m1, m2, bisim.Options{}, seq)
+		if err != nil {
+			t.Fatalf("iter=%d: sequential Explain: %v", iter, err)
+		}
+		want := wantEv.String()
+		for _, w := range differentialWorkerCounts {
+			opts := bisim.Options{Workers: w}
+			res, err := bisim.Compute(ctx, m1, m2, opts)
+			if err != nil {
+				t.Fatalf("iter=%d workers=%d: Compute: %v", iter, w, err)
+			}
+			ev, err := bisim.Explain(ctx, m1, m2, opts, res)
+			if err != nil {
+				t.Fatalf("iter=%d workers=%d: Explain: %v", iter, w, err)
+			}
+			if got := ev.String(); got != want {
+				t.Fatalf("iter=%d workers=%d: evidence differs\nparallel:   %s\nsequential: %s", iter, w, got, want)
+			}
+		}
+	}
+	if cases == 0 {
+		t.Fatal("no non-corresponding structure pairs generated; weaken the generator bias")
+	}
+}

@@ -64,6 +64,19 @@ type refiner struct {
 	queue   []int32
 	inQueue []bool
 
+	// Worker budget (Options.Workers; ≤ 1 keeps every loop sequential) and
+	// the state backing the batched drain of parallel.go: blockVersion is
+	// bumped whenever a block's set shrinks in divide, so a batch can detect
+	// that a precomputed splitter predecessor set went stale; the remaining
+	// fields are reusable buffers for the per-batch slots.
+	workers      int
+	blockVersion []uint32
+	dpBatch      []kripke.BitSet
+	dpVersions   []uint32
+	batchIDs     []int32
+	posSlots     []kripke.BitSet
+	wStacks      [][]int32
+
 	// Scratch state for refineAgainst, reused across splitter pops so the
 	// hottest loop allocates nothing: dpScratch holds the splitter's direct
 	// predecessors, candScratch the candidate block list, and candStamp
@@ -82,6 +95,11 @@ type refiner struct {
 	freeSets    []kripke.BitSet
 	stackBuf    []int32       // closeBackwardWithin worklist
 	succScratch kripke.BitSet // enqueueSuccessors accumulator
+
+	// arena (possibly nil) backs the block sets and large scratch arrays so
+	// IndexedCompute can recycle them across pair computes.  All hand-outs
+	// happen in sequential sections; workers only fill what they were given.
+	arena *computeArena
 }
 
 // getSet returns a block-sized BitSet with arbitrary contents (callers
@@ -92,7 +110,7 @@ func (r *refiner) getSet() kripke.BitSet {
 		r.freeSets = r.freeSets[:k-1]
 		return bs
 	}
-	return kripke.NewBitSet(r.cN)
+	return kripke.BitSet(r.arena.bitset(r.cN, false))
 }
 
 // putSet returns a BitSet to the pool.
@@ -108,6 +126,7 @@ type rblock struct {
 func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) (*Result, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
 	N := n + n2
+	ar := opts.arena // nil for direct calls; every helper degrades to make
 
 	// Canonical label of every union state, interned to dense ids.  The two
 	// structures intern labels independently (kripke.LabelID), so only the
@@ -151,7 +170,7 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		key  int32
 		ones uint64
 	}
-	labelID := make([]int32, N)
+	labelID := ar.i32s(N, false) // fully written below
 	intern := make(map[classKey]int32)
 	internKey := func(key classKey) int32 {
 		id, ok := intern[key]
@@ -186,7 +205,7 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	// Contract the silent SCCs: components of the subgraph whose edges stay
 	// within one label class.  The adjacency is built flat (counting pass,
 	// then fill) to avoid per-state slice growth.
-	silentCount := make([]int, N)
+	silentCount := ar.intsN(N, true)
 	totalSilent := 0
 	for u := 0; u < N; u++ {
 		off := offset(u)
@@ -198,7 +217,7 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		}
 	}
 	silentAdj := make([][]int, N)
-	silentBacking := make([]int, totalSilent)
+	silentBacking := ar.intsN(totalSilent, false) // append-filled via the capped headers
 	pos := 0
 	for u := 0; u < N; u++ {
 		silentAdj[u] = silentBacking[pos : pos : pos+silentCount[u]]
@@ -211,14 +230,20 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		}
 	}
 	comp, cN := graph.FromAdjacency(silentAdj).SCCComp()
-	compSize := make([]int32, cN)
-	compLabel := make([]int32, cN)
+	compSize := ar.i32s(cN, true)
+	compLabel := ar.i32s(cN, false) // every component has a member, so fully written
 	for u := 0; u < N; u++ {
 		compSize[comp[u]]++
 		compLabel[comp[u]] = labelID[u]
 	}
 
-	r := &refiner{cN: cN, divMask: kripke.NewBitSet(cN), dpScratch: kripke.NewBitSet(cN)}
+	r := &refiner{
+		cN:        cN,
+		divMask:   kripke.BitSet(ar.bitset(cN, true)),
+		dpScratch: kripke.BitSet(ar.bitset(cN, false)), // computeDP clears it first
+		workers:   opts.Workers,
+		arena:     ar,
+	}
 	for c := 0; c < cN; c++ {
 		if compSize[c] > 1 {
 			r.divMask.Set(c) // a multi-state silent SCC contains a silent cycle
@@ -227,8 +252,8 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	// Contracted adjacency, counting pass then fill.  Parallel edges between
 	// two components are kept: every consumer either dedups through a bitset
 	// or tolerates revisits, and skipping a dedup map here is cheaper.
-	succCount := make([]int, cN)
-	predCount := make([]int, cN)
+	succCount := ar.intsN(cN, true)
+	predCount := ar.intsN(cN, true)
 	totalEdges := 0
 	for u := 0; u < N; u++ {
 		cu := comp[u]
@@ -249,8 +274,8 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	}
 	r.cSucc = make([][]int32, cN)
 	r.cPred = make([][]int32, cN)
-	succBacking := make([]int32, totalEdges)
-	predBacking := make([]int32, totalEdges)
+	succBacking := ar.i32s(totalEdges, false)
+	predBacking := ar.i32s(totalEdges, false)
 	sPos, pPos := 0, 0
 	for c := 0; c < cN; c++ {
 		r.cSucc[c] = succBacking[sPos : sPos : sPos+succCount[c]]
@@ -280,7 +305,7 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	}
 
 	// Initial partition: one block per label class.
-	r.blockOf = make([]int32, cN)
+	r.blockOf = ar.i32s(cN, false) // fully written below
 	blockByLabel := make(map[int32]int32)
 	for c := 0; c < cN; c++ {
 		lbl := compLabel[c]
@@ -288,9 +313,10 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		if !ok {
 			bid = int32(len(r.blocks))
 			blockByLabel[lbl] = bid
-			r.blocks = append(r.blocks, &rblock{set: kripke.NewBitSet(cN)})
+			r.blocks = append(r.blocks, &rblock{set: kripke.BitSet(ar.bitset(cN, true))})
 			r.inQueue = append(r.inQueue, false)
 			r.candStamp = append(r.candStamp, 0)
+			r.blockVersion = append(r.blockVersion, 0)
 		}
 		r.blocks[bid].set.Set(c)
 		r.blocks[bid].size++
@@ -308,13 +334,23 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		if err := r.drain(ctx); err != nil {
 			return nil, err
 		}
-		if !r.divergencePass() {
+		var divChanged bool
+		if r.workers > 1 {
+			var err error
+			divChanged, err = r.divergencePassParallel(ctx)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			divChanged = r.divergencePass()
+		}
+		if !divChanged {
 			break
 		}
 	}
 
 	// Per-union-state block id: s ~ t iff stateBlock[s] == stateBlock[n+t].
-	stateBlock := make([]int32, N)
+	stateBlock := ar.i32s(N, false)
 	for u := 0; u < N; u++ {
 		stateBlock[u] = r.blockOf[comp[u]]
 	}
@@ -327,6 +363,15 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	// over-approximated), fall back to the generic prune-and-assign loop,
 	// which handles any candidate set.
 	if len(r.blocks) <= maskDegreeBlockLimit {
+		if r.workers > 1 {
+			out, ok, err := maskedFinishPacked(ctx, m, m2, stateBlock, len(r.blocks), opts, res, r.workers)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return out, nil
+			}
+		}
 		out, ok, err := maskedFinish(ctx, m, m2, stateBlock, len(r.blocks), opts, res)
 		if err != nil {
 			return nil, err
@@ -373,24 +418,25 @@ var maskDegreeBlockLimit = 64
 // still guards), in which case the generic pruning loop takes over.
 func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int32, numBlocks int, opts Options, res *Result) (*Result, bool, error) {
 	n, n2 := m.NumStates(), m2.NumStates()
+	ar := opts.arena
 
 	// Left states of every block, and each left state's rank in its block.
 	blockLefts := make([][]int32, numBlocks)
-	rank := make([]int32, n)
+	rank := ar.i32s(n, false)
 	for s := 0; s < n; s++ {
 		b := stateBlock[s]
 		rank[s] = int32(len(blockLefts[b]))
 		blockLefts[b] = append(blockLefts[b], int32(s))
 	}
 	// Compact pair table.
-	pairBase := make([]int32, n2)
+	pairBase := ar.i32s(n2, false)
 	total := 0
 	for t := 0; t < n2; t++ {
 		pairBase[t] = int32(total)
 		total += len(blockLefts[stateBlock[n+t]])
 	}
-	pairS := make([]int32, total)
-	pairT := make([]int32, total)
+	pairS := ar.i32s(total, false)
+	pairT := ar.i32s(total, false)
 	for t := 0; t < n2; t++ {
 		off := pairBase[t]
 		for j, s := range blockLefts[stateBlock[n+t]] {
@@ -400,7 +446,7 @@ func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int
 	}
 
 	// Successor-block mask of every union state.
-	masks := make([]uint64, n+n2)
+	masks := ar.u64s(n+n2, true)
 	for s := 0; s < n; s++ {
 		for _, v := range m.Succ(kripke.State(s)) {
 			masks[s] |= 1 << uint(stateBlock[v])
@@ -422,8 +468,8 @@ func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int
 		return m2.Succ(kripke.State(u - n))
 	}
 	N := n + n2
-	ibsCount := make([]int32, N)
-	ibpCount := make([]int32, N)
+	ibsCount := ar.i32s(N, true)
+	ibpCount := ar.i32s(N, true)
 	ibTotal := 0
 	for u := 0; u < N; u++ {
 		off := 0
@@ -441,8 +487,8 @@ func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int
 	}
 	ibSucc := make([][]int32, N)
 	ibPred := make([][]int32, N)
-	ibsBacking := make([]int32, ibTotal)
-	ibpBacking := make([]int32, ibTotal)
+	ibsBacking := ar.i32s(ibTotal, false) // append-filled via the capped headers
+	ibpBacking := ar.i32s(ibTotal, false)
 	sOff, pOff := 0, 0
 	for u := 0; u < N; u++ {
 		ibSucc[u] = ibsBacking[sOff : sOff : sOff+int(ibsCount[u])]
@@ -466,7 +512,7 @@ func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int
 	}
 	// Round 0: a pair is an exact match iff the two states offer successors
 	// in exactly the same blocks.
-	deg := make([]int32, total)
+	deg := ar.i32s(total, false)
 	for i := range deg {
 		deg[i] = -1
 	}
@@ -541,7 +587,7 @@ func maskedFinish(ctx context.Context, m, m2 *kripke.Structure, stateBlock []int
 		return false
 	}
 
-	scheduledAt := make([]int32, total)
+	scheduledAt := ar.i32s(total, false)
 	for i := range scheduledAt {
 		scheduledAt[i] = -1
 	}
@@ -700,6 +746,9 @@ func (r *refiner) enqueue(bid int32) {
 // latency a small multiple of a single split's cost without measurably
 // slowing the refinement loop.
 func (r *refiner) drain(ctx context.Context) error {
+	if r.workers > 1 {
+		return r.drainParallel(ctx)
+	}
 	for pops := 0; len(r.queue) > 0; pops++ {
 		if pops&255 == 0 {
 			if err := cancelled(ctx); err != nil {
@@ -718,22 +767,8 @@ func (r *refiner) drain(ctx context.Context) error {
 // stable with respect to sp when either all or none of its states can reach
 // sp by a path staying inside the block.
 func (r *refiner) refineAgainst(sp int32) {
-	// dp: contracted nodes with a direct edge into the splitter.
 	dp := r.dpScratch
-	for i := range dp {
-		dp[i] = 0
-	}
-	spSet := r.blocks[sp].set
-	if r.mat != nil {
-		spSet.ForEach(func(v int) bool { dp.Or(r.mat.Pred(v)); return true })
-	} else {
-		spSet.ForEach(func(v int) bool {
-			for _, p := range r.cPred[v] {
-				dp.Set(int(p))
-			}
-			return true
-		})
-	}
+	r.computeDP(sp, dp)
 	// Candidate blocks: those holding a state with an edge into the splitter.
 	// Splitting one candidate never moves states of another, so the list
 	// stays valid as we go (the split-off halves hold no state of dp).
@@ -751,6 +786,27 @@ func (r *refiner) refineAgainst(sp int32) {
 		r.splitReach(bid, dp)
 	}
 	r.candScratch = cands[:0]
+}
+
+// computeDP fills dp with the contracted nodes that have a direct edge into
+// the splitter: a pure function of the splitter's current member set, which
+// is what lets drainParallel precompute it for queued splitters ahead of
+// their pop.
+func (r *refiner) computeDP(sp int32, dp kripke.BitSet) {
+	for i := range dp {
+		dp[i] = 0
+	}
+	spSet := r.blocks[sp].set
+	if r.mat != nil {
+		spSet.ForEach(func(v int) bool { dp.Or(r.mat.Pred(v)); return true })
+	} else {
+		spSet.ForEach(func(v int) bool {
+			for _, p := range r.cPred[v] {
+				dp.Set(int(p))
+			}
+			return true
+		})
+	}
 }
 
 // splitReach splits block bid by "can reach the splitter through the block".
@@ -806,6 +862,10 @@ func (r *refiner) divide(bid int32, pos kripke.BitSet) bool {
 	r.blocks = append(r.blocks, &rblock{set: rest, size: b.size - posCount})
 	r.inQueue = append(r.inQueue, false)
 	r.candStamp = append(r.candStamp, 0)
+	if r.blockVersion != nil {
+		r.blockVersion[bid]++ // the block's set shrinks to pos below
+		r.blockVersion = append(r.blockVersion, 0)
+	}
 	r.putSet(b.set)
 	b.set = pos
 	b.size = posCount

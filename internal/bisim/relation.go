@@ -58,10 +58,23 @@ type Options struct {
 	// never exceeds it).
 	MaxDegreeRounds int
 
-	// Workers caps the pool IndexedCompute decides the IN pairs on.  Zero
-	// or negative means one worker per available CPU.  Compute itself is
-	// single-threaded and unaffected.
+	// Workers caps the pool IndexedCompute decides the IN pairs on (zero
+	// or negative meaning one worker per available CPU) and, when greater
+	// than one, additionally switches Compute's refinement internals onto
+	// the batched parallel engine of parallel.go: splitter predecessor
+	// sets, candidate closures and degree rounds fan out across the
+	// budget.  Results are byte-identical at every worker count — the
+	// parallel engine replays all partition mutations in the sequential
+	// order — so Workers only trades goroutines for latency.  Zero (the
+	// default) keeps Compute itself fully sequential.
 	Workers int
+
+	// arena, when non-nil, recycles the engine's large scratch allocations
+	// across Compute calls.  Only IndexedCompute sets it (one arena per pool
+	// worker, reset between pair computes); it is deliberately unexported —
+	// arenas are single-goroutine and their hand-outs die at the next reset,
+	// so the field must not escape the package's own call discipline.
+	arena *computeArena
 }
 
 func (o Options) normalizedOneProps() []string {

@@ -27,6 +27,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -490,7 +491,12 @@ func StateExplosion(ctx context.Context, maxR int) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		checker := mc.New(inst.M)
+		// The direct-MC column is the brute-force baseline the parameterized
+		// route is measured against, so let it use everything the host has:
+		// the word-at-a-time engines are byte-identical at every worker
+		// count, and on a single CPU SetWorkers degrades to the sequential
+		// path.
+		checker := mc.New(inst.M).SetWorkers(runtime.GOMAXPROCS(0))
 		allHold := true
 		for _, p := range props {
 			holds, err := checker.Holds(ctx, p.Formula)

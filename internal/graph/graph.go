@@ -37,6 +37,15 @@ func New(n int) *Graph {
 // caller must not modify adj afterwards.
 func FromAdjacency(adj [][]int) *Graph { return &Graph{n: len(adj), adj: adj} }
 
+// FromCSR wraps a prebuilt compressed-sparse-row adjacency without copying:
+// off has n+1 entries and dst[off[u]:off[u+1]] lists the successors of u.
+// The caller must not modify either slice afterwards.  Engines that can
+// count their edges up front (the packed tableau product) assemble the CSR
+// with two word-batched passes and skip the pending edge list entirely.
+func FromCSR(off []int32, dst []int) *Graph {
+	return &Graph{n: len(off) - 1, off: off, dst: dst}
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -151,7 +160,30 @@ func (g *Graph) Transpose() *Graph {
 	// Build the transposed CSR directly with one counting pass — no
 	// per-vertex growth, no pending list (AddEdge reconstructs one if the
 	// transposed graph is ever mutated).
-	t.off, t.dst = buildCSR(g.n, g.eTo, g.eFrom)
+	if len(g.eFrom) > 0 {
+		t.off, t.dst = buildCSR(g.n, g.eTo, g.eFrom)
+		return t
+	}
+	// CSR-only graph (FromCSR, or a previous Transpose): count over the CSR
+	// itself, preserving source order within each transposed successor list.
+	g.ensure()
+	off := make([]int32, g.n+1)
+	for _, v := range g.dst {
+		off[v+1]++
+	}
+	for u := 0; u < g.n; u++ {
+		off[u+1] += off[u]
+	}
+	dst := make([]int, len(g.dst))
+	next := make([]int32, g.n)
+	copy(next, off[:g.n])
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.dst[g.off[u]:g.off[u+1]] {
+			dst[next[v]] = u
+			next[v]++
+		}
+	}
+	t.off, t.dst = off, dst
 	return t
 }
 

@@ -115,6 +115,45 @@ func (b BitSet) ForEach(fn func(i int) bool) {
 	}
 }
 
+// ClearAll empties the set in place, keeping its capacity.
+func (b BitSet) ClearAll() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// BitSetFromBools packs a []bool state set into a BitSet of the same
+// capacity.  It is the bridge between the model checker's boolean
+// satisfaction sets and the word-at-a-time sweeps.
+func BitSetFromBools(in []bool) BitSet {
+	b := NewBitSet(len(in))
+	for i, v := range in {
+		if v {
+			b[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return b
+}
+
+// WriteBools overwrites dst (same capacity the set was created with) so that
+// dst[i] reports membership of i.
+func (b BitSet) WriteBools(dst []bool) {
+	for i := range dst {
+		dst[i] = b[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+}
+
+// ForEachWord calls fn on every non-zero word together with its word index,
+// in increasing order.  Callers that fan a sweep out across workers use the
+// word index to partition the set without touching individual bits.
+func (b BitSet) ForEachWord(fn func(wi int, w uint64) bool) {
+	for wi, w := range b {
+		if w != 0 && !fn(wi, w) {
+			return
+		}
+	}
+}
+
 // TransitionMatrix is the transition relation of one structure (or of the
 // disjoint union of two structures) stored as bitset rows: Succ(i) and
 // Pred(i) are BitSets over the vertex range.  It costs O(n²/8) bytes, so

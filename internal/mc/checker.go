@@ -41,10 +41,28 @@ type Checker struct {
 	cache map[string][]bool
 	stats Stats
 
+	// workers caps the worker pools of the word-at-a-time engines (the
+	// frontier gather in vector.go, the packed tableau's edge and component
+	// passes).  Zero or one means fully sequential evaluation; the output is
+	// identical at every setting.
+	workers int
+
 	// ctx is the context of the public query currently being evaluated; the
 	// engines poll it at subformula boundaries and inside the tableau
 	// product so long-running checks are cancellable.
 	ctx context.Context
+}
+
+// SetWorkers caps the checker's internal worker pools at n (0 or 1 disables
+// fan-out).  Satisfaction sets, stats counters, witnesses and errors are
+// independent of the setting; only wall-clock time changes.  It returns the
+// checker for chaining and must not be called while a query is running.
+func (c *Checker) SetWorkers(n int) *Checker {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+	return c
 }
 
 // bind installs ctx for the duration of one public query.  A nil context is
@@ -287,7 +305,13 @@ func (c *Checker) satExistsPath(p logic.Formula) ([]bool, error) {
 
 // tryCTL recognises E applied to a single temporal operator whose operands
 // are state formulas and evaluates it with the labelling algorithm.  The
-// derived operators F, G, R and W are rewritten to EU/EG combinations first.
+// derived operators F, G, R and W are rewritten to EU/EG combinations first,
+// and a negated operator is pushed through its dual (E ¬X g ≡ EX ¬g,
+// E ¬(g U h) ≡ E[¬h U (¬g ∧ ¬h)] ∨ EG ¬h, E ¬F g ≡ EG ¬g, E ¬G g ≡ EF ¬g) —
+// the same identities the counterexample extractor in witness.go relies on.
+// Like the positive EU/EG fast paths, the negation rewrites agree with the
+// tableau engine on total transition relations (every structure the repo
+// builds is total via MakeTotal).
 func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 	switch node := p.(type) {
 	case *logic.X:
@@ -298,7 +322,11 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return c.satEX(inner), true, nil
+		sat, err := c.satEX(inner)
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
 	case *logic.U:
 		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.R) {
 			return nil, false, nil
@@ -311,7 +339,11 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return c.satEU(l, r), true, nil
+		sat, err := c.satEU(l, r)
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
 	case *logic.Ev:
 		if !logic.IsStateFormula(node.F) {
 			return nil, false, nil
@@ -320,7 +352,11 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return c.satEU(constSet(c.m.NumStates(), true), r), true, nil
+		sat, err := c.satEU(constSet(c.m.NumStates(), true), r)
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
 	case *logic.Alw:
 		if !logic.IsStateFormula(node.F) {
 			return nil, false, nil
@@ -329,7 +365,11 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return c.satEG(inner), true, nil
+		sat, err := c.satEG(inner)
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
 	case *logic.R:
 		// E[g R h] ≡ E[h U (g ∧ h)] ∨ EG h.
 		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.Rhs) {
@@ -343,10 +383,7 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		both := intersect(g, h)
-		sat := c.satEU(h, both)
-		unionInto(sat, c.satEG(h))
-		return sat, true, nil
+		return c.euOrEG(h, intersect(g, h), h)
 	case *logic.W:
 		// E[g W h] ≡ E[g U h] ∨ EG g.
 		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.R) {
@@ -360,20 +397,99 @@ func (c *Checker) tryCTL(p logic.Formula) ([]bool, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		sat := c.satEU(g, h)
-		unionInto(sat, c.satEG(g))
-		return sat, true, nil
+		return c.euOrEG(g, h, g)
 	case *logic.Not:
-		// E ¬q for a state formula q is a state formula; other negations go
-		// to the tableau.
-		if logic.IsStateFormula(node.F) {
-			inner, err := c.satState(node.F)
-			if err != nil {
-				return nil, false, err
-			}
-			return complement(inner), true, nil
-		}
+		return c.tryCTLNegated(node.F)
+	default:
 		return nil, false, nil
+	}
+}
+
+// euOrEG evaluates E[f U g] ∨ EG h, the shape shared by the R, W and
+// negated-U rewrites.
+func (c *Checker) euOrEG(f, g, h []bool) ([]bool, bool, error) {
+	sat, err := c.satEU(f, g)
+	if err != nil {
+		return nil, false, err
+	}
+	eg, err := c.satEG(h)
+	if err != nil {
+		return nil, false, err
+	}
+	unionInto(sat, eg)
+	return sat, true, nil
+}
+
+// tryCTLNegated handles E ¬p.  A negated state formula is itself a state
+// formula; a negated single temporal operator over state formulas is pushed
+// through its dual so it stays on the labelling fast path instead of falling
+// to the tableau.  Deeper negations return ok=false.
+func (c *Checker) tryCTLNegated(p logic.Formula) ([]bool, bool, error) {
+	if logic.IsStateFormula(p) {
+		inner, err := c.satState(p)
+		if err != nil {
+			return nil, false, err
+		}
+		return complement(inner), true, nil
+	}
+	switch node := p.(type) {
+	case *logic.X:
+		// E ¬X g ≡ EX ¬g.
+		if !logic.IsStateFormula(node.F) {
+			return nil, false, nil
+		}
+		inner, err := c.satState(node.F)
+		if err != nil {
+			return nil, false, err
+		}
+		sat, err := c.satEX(complement(inner))
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
+	case *logic.U:
+		// E ¬(g U h) ≡ E[¬h U (¬g ∧ ¬h)] ∨ EG ¬h.
+		if !logic.IsStateFormula(node.L) || !logic.IsStateFormula(node.R) {
+			return nil, false, nil
+		}
+		g, err := c.satState(node.L)
+		if err != nil {
+			return nil, false, err
+		}
+		h, err := c.satState(node.R)
+		if err != nil {
+			return nil, false, err
+		}
+		notG, notH := complement(g), complement(h)
+		return c.euOrEG(notH, intersect(notG, notH), notH)
+	case *logic.Ev:
+		// E ¬F g ≡ EG ¬g.
+		if !logic.IsStateFormula(node.F) {
+			return nil, false, nil
+		}
+		inner, err := c.satState(node.F)
+		if err != nil {
+			return nil, false, err
+		}
+		sat, err := c.satEG(complement(inner))
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
+	case *logic.Alw:
+		// E ¬G g ≡ EF ¬g.
+		if !logic.IsStateFormula(node.F) {
+			return nil, false, nil
+		}
+		inner, err := c.satState(node.F)
+		if err != nil {
+			return nil, false, err
+		}
+		sat, err := c.satEU(constSet(c.m.NumStates(), true), complement(inner))
+		if err != nil {
+			return nil, false, err
+		}
+		return sat, true, nil
 	default:
 		return nil, false, nil
 	}

@@ -14,9 +14,17 @@ import (
 //	           computed from the nontrivial SCCs of the f-restricted graph
 //
 // The universal operators are obtained by duality in the checker.
+//
+// Two implementations coexist.  The *Scalar functions below walk states one
+// at a time and materialise the f-restricted graph for EG; they are the
+// executable reference the metamorphic tests in vector_test.go pin the
+// engine against.  The checker itself runs the word-at-a-time versions in
+// vector.go, which sweep predecessor words over BitSet frontiers and find
+// the EG seed components with an implicit Tarjan pass; the two families
+// assign identical satisfaction sets and identical Stats counters.
 
-// satEX returns the states that have at least one successor in f.
-func (c *Checker) satEX(f []bool) []bool {
+// satEXScalar returns the states that have at least one successor in f.
+func (c *Checker) satEXScalar(f []bool) []bool {
 	n := c.m.NumStates()
 	sat := make([]bool, n)
 	for s := 0; s < n; s++ {
@@ -30,9 +38,9 @@ func (c *Checker) satEX(f []bool) []bool {
 	return sat
 }
 
-// satEU returns the states satisfying E[f U g]: the least fixpoint of
+// satEUScalar returns the states satisfying E[f U g]: the least fixpoint of
 // Z = g ∪ (f ∩ EX Z), computed with a backwards worklist over predecessors.
-func (c *Checker) satEU(f, g []bool) []bool {
+func (c *Checker) satEUScalar(f, g []bool) []bool {
 	n := c.m.NumStates()
 	sat := make([]bool, n)
 	worklist := make([]kripke.State, 0, n)
@@ -56,11 +64,12 @@ func (c *Checker) satEU(f, g []bool) []bool {
 	return sat
 }
 
-// satEG returns the states satisfying EG f: the states in f from which some
-// infinite path remains in f forever.  The algorithm restricts the structure
-// to the f states, finds the nontrivial strongly connected components of the
-// restriction, and computes backwards reachability (within f) to them.
-func (c *Checker) satEG(f []bool) []bool {
+// satEGScalar returns the states satisfying EG f: the states in f from which
+// some infinite path remains in f forever.  The algorithm restricts the
+// structure to the f states, finds the nontrivial strongly connected
+// components of the restriction, and computes backwards reachability (within
+// f) to them.
+func (c *Checker) satEGScalar(f []bool) []bool {
 	n := c.m.NumStates()
 	// Build the f-restricted graph (same vertex numbering; edges only
 	// between f states).

@@ -46,6 +46,15 @@ func (c *Checker) satExistsLTL(p logic.Formula) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The packed product (tableau_packed.go) handles every formula whose
+	// closure fits in one word; the scalar product below remains both the
+	// fallback for wider formulas and the reference the packed engine is
+	// pinned against in vector_test.go.
+	if sat, ok, err := c.runTableauPacked(tb, placeholders); err != nil {
+		return nil, err
+	} else if ok {
+		return sat, nil
+	}
 	return c.runTableau(tb, placeholders)
 }
 

@@ -1,0 +1,63 @@
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelChunks fans the index range [0, n) out across the checker's worker
+// budget in contiguous chunks of at most grain indices.  init is called once
+// with the resolved worker count before any work starts, so callers can size
+// per-worker accumulators; fn is then called with (worker, lo, hi) for each
+// claimed chunk.  Workers claim chunks from an atomic counter and poll the
+// query context per claim, so cancellation is observed within one chunk.
+//
+// fn must confine its writes to per-worker state (or disjoint output ranges):
+// the checker's cache and Stats are not synchronised and must not be touched
+// from inside fn.  With a worker budget of one — or when one chunk covers the
+// range — everything runs inline on the calling goroutine.
+func (c *Checker) parallelChunks(n, grain int, fn func(worker, lo, hi int), init func(workers int)) error {
+	if n <= 0 {
+		init(1)
+		return c.cancelled()
+	}
+	chunks := (n + grain - 1) / grain
+	workers := c.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		init(1)
+		if err := c.cancelled(); err != nil {
+			return err
+		}
+		fn(0, 0, n)
+		return c.cancelled()
+	}
+	init(workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if c.cancelled() != nil {
+					return
+				}
+				k := int(next.Add(1)) - 1
+				if k >= chunks {
+					return
+				}
+				lo := k * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return c.cancelled()
+}

@@ -1,0 +1,174 @@
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Metamorphic battery for the word-at-a-time CTL engine (vector.go): on
+// randomized total structures — including state counts straddling the 64-bit
+// word boundary — and on degenerate satisfaction sets (empty, full), the
+// vector EX/EU/EG must return exactly the satisfaction sets of the scalar
+// reference implementations in ctl.go, and the fixpoint engines must
+// accumulate exactly the same Stats counters.  The battery runs at worker
+// budgets 0 and 4; the large-structure cases push the frontier past
+// gatherParallelWords so the chunked parallel gather is exercised for real.
+
+// vectorWorkerCounts are the worker budgets every equivalence case runs at.
+var vectorWorkerCounts = []int{0, 4}
+
+// boolSetCases yields the satisfaction-set shapes fed to the operators: a
+// random set, the empty set and the full set (the two degenerate shapes hit
+// the all-zero-word and all-one-word paths of the frontier sweeps).
+func boolSetCases(r *rand.Rand, n int) map[string][]bool {
+	random := make([]bool, n)
+	for i := range random {
+		random[i] = r.Intn(3) > 0
+	}
+	empty := make([]bool, n)
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	return map[string][]bool{"random": random, "empty": empty, "full": full}
+}
+
+// vectorSizes mixes small random sizes with the word-boundary counts 63, 64
+// and 65, so single-word, exactly-one-word and just-past-one-word layouts
+// all appear.
+func vectorSizes(r *rand.Rand, iter int) int {
+	boundary := []int{63, 64, 65}
+	if iter%4 == 3 {
+		return boundary[iter/4%len(boundary)]
+	}
+	return 2 + r.Intn(40)
+}
+
+func assertSameSat(t *testing.T, label string, got, want []bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: state %d: vector=%v scalar=%v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestVectorEXMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(860701))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for iter := 0; iter < iters; iter++ {
+		m := randomStructure(r, vectorSizes(r, iter))
+		for name, f := range boolSetCases(r, m.NumStates()) {
+			want := New(m).satEXScalar(f)
+			for _, w := range vectorWorkerCounts {
+				got, err := New(m).SetWorkers(w).satEX(f)
+				if err != nil {
+					t.Fatalf("iter=%d %s workers=%d: satEX: %v", iter, name, w, err)
+				}
+				assertSameSat(t, fmt.Sprintf("EX iter=%d %s workers=%d", iter, name, w), got, want)
+			}
+		}
+	}
+}
+
+func TestVectorEUMatchesScalarWithStats(t *testing.T) {
+	r := rand.New(rand.NewSource(860702))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for iter := 0; iter < iters; iter++ {
+		m := randomStructure(r, vectorSizes(r, iter))
+		sets := boolSetCases(r, m.NumStates())
+		for fname, f := range sets {
+			for gname, g := range sets {
+				cs := New(m)
+				want := cs.satEUScalar(f, g)
+				for _, w := range vectorWorkerCounts {
+					cv := New(m).SetWorkers(w)
+					got, err := cv.satEU(f, g)
+					if err != nil {
+						t.Fatalf("iter=%d f=%s g=%s workers=%d: satEU: %v", iter, fname, gname, w, err)
+					}
+					label := fmt.Sprintf("EU iter=%d f=%s g=%s workers=%d", iter, fname, gname, w)
+					assertSameSat(t, label, got, want)
+					if cv.stats.FixpointIterations != cs.stats.FixpointIterations {
+						t.Fatalf("%s: FixpointIterations: vector=%d scalar=%d",
+							label, cv.stats.FixpointIterations, cs.stats.FixpointIterations)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVectorEGMatchesScalarWithStats(t *testing.T) {
+	r := rand.New(rand.NewSource(860703))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for iter := 0; iter < iters; iter++ {
+		m := randomStructure(r, vectorSizes(r, iter))
+		for name, f := range boolSetCases(r, m.NumStates()) {
+			cs := New(m)
+			want := cs.satEGScalar(f)
+			for _, w := range vectorWorkerCounts {
+				cv := New(m).SetWorkers(w)
+				got, err := cv.satEG(f)
+				if err != nil {
+					t.Fatalf("iter=%d %s workers=%d: satEG: %v", iter, name, w, err)
+				}
+				label := fmt.Sprintf("EG iter=%d %s workers=%d", iter, name, w)
+				assertSameSat(t, label, got, want)
+				if cv.stats.FixpointIterations != cs.stats.FixpointIterations {
+					t.Fatalf("%s: FixpointIterations: vector=%d scalar=%d",
+						label, cv.stats.FixpointIterations, cs.stats.FixpointIterations)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorParallelGatherOnLargeFrontier drives the frontier past
+// gatherParallelWords (64 words = 4096 states), so the workers>1 runs use
+// the chunked parallel predecessor gather rather than the inline sweep, and
+// still must reproduce the scalar sets and counters exactly.
+func TestVectorParallelGatherOnLargeFrontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-structure case")
+	}
+	r := rand.New(rand.NewSource(860704))
+	const n = 5000
+	m := randomStructure(r, n)
+	sets := boolSetCases(r, n)
+	f, g := sets["random"], sets["full"]
+
+	cs := New(m)
+	wantEU := cs.satEUScalar(f, g)
+	wantEG := cs.satEGScalar(f)
+	for _, w := range vectorWorkerCounts {
+		cv := New(m).SetWorkers(w)
+		gotEU, err := cv.satEU(f, g)
+		if err != nil {
+			t.Fatalf("workers=%d: satEU: %v", w, err)
+		}
+		assertSameSat(t, fmt.Sprintf("large EU workers=%d", w), gotEU, wantEU)
+		gotEG, err := cv.satEG(f)
+		if err != nil {
+			t.Fatalf("workers=%d: satEG: %v", w, err)
+		}
+		assertSameSat(t, fmt.Sprintf("large EG workers=%d", w), gotEG, wantEG)
+		if cv.stats.FixpointIterations != cs.stats.FixpointIterations {
+			t.Fatalf("workers=%d: FixpointIterations: vector=%d scalar=%d",
+				w, cv.stats.FixpointIterations, cs.stats.FixpointIterations)
+		}
+	}
+}

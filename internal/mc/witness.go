@@ -194,7 +194,10 @@ func (c *Checker) lassoWitness(s kripke.State, inv []bool) (*Trace, error) {
 	// Greedy walk inside states satisfying EG inv (which s does, since the
 	// caller established EG inv at s): repeatedly move to a successor that
 	// still satisfies EG inv until a state repeats.
-	egInv := c.satEG(inv)
+	egInv, err := c.satEG(inv)
+	if err != nil {
+		return nil, err
+	}
 	if !egInv[s] {
 		return nil, fmt.Errorf("mc: internal error: lasso witness requested at a non-EG state %d", s)
 	}

@@ -51,6 +51,12 @@ func newVerifier(ctx context.Context, m *Structure, cfg config) (*Verifier, erro
 	} else {
 		v.checker = mc.New(m.raw())
 	}
+	// WithWorkers(n > 1) also unlocks the checker's word-at-a-time worker
+	// pools (frontier gathers, packed tableau passes); answers are identical
+	// at every setting.
+	if v.checker != nil {
+		v.checker.SetWorkers(cfg.workers)
+	}
 	return v, nil
 }
 
