@@ -21,6 +21,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/paperfig"
 	"repro/internal/ring"
+	"repro/internal/store"
 )
 
 // ---------------------------------------------------------------------------
@@ -473,5 +474,82 @@ func BenchmarkMinimizeStutteredStructure(b *testing.B) {
 		if _, err := bisim.Minimize(context.Background(), right, bisim.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PR9: incremental engines.  The full-range sweep (r=4..14, every topology)
+// cold, warm-started (each size seeded from the previous quotient) and
+// replayed from a populated verdict store.  The replay benchmark is the
+// acceptance number for the persistent store: a second full battery must be
+// pure cache replay plus revalidation, several times faster than deciding
+// cold.
+// ---------------------------------------------------------------------------
+
+// sweepFullRange drives one full sweep over every topology's valid sizes in
+// [4, 14] and returns (rows decided, rows replayed from the store).
+func sweepFullRange(b *testing.B, r experiments.Runner) (decided, replayed int) {
+	b.Helper()
+	for _, topo := range family.Topologies() {
+		sizes := family.ValidSizesIn(topo, 4, 14)
+		if len(sizes) == 0 {
+			continue
+		}
+		for row := range r.TopologySweep(context.Background(), topo, sizes) {
+			if row.Err != nil {
+				b.Fatalf("%s n=%d: %v", row.Topology, row.R, row.Err)
+			}
+			if row.CacheHit {
+				replayed++
+			} else {
+				decided++
+			}
+		}
+	}
+	return decided, replayed
+}
+
+func BenchmarkSweepFullRangeCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		decided, _ := sweepFullRange(b, experiments.Runner{})
+		if decided == 0 {
+			b.Fatal("cold sweep decided nothing")
+		}
+	}
+}
+
+func BenchmarkSweepFullRangeWarm(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		decided, _ := sweepFullRange(b, experiments.Runner{Warm: true})
+		if decided == 0 {
+			b.Fatal("warm sweep decided nothing")
+		}
+	}
+}
+
+func BenchmarkSweepFullRangeReplay(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the store once, outside the timer: the timed iterations are
+	// the second full-battery runs, which must be pure replay.
+	if decided, _ := sweepFullRange(b, experiments.Runner{Store: st}); decided == 0 {
+		b.Fatal("populating sweep decided nothing")
+	}
+	before := bisim.ComputeCalls()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decided, replayed := sweepFullRange(b, experiments.Runner{Store: st})
+		if decided != 0 || replayed == 0 {
+			b.Fatalf("replay sweep decided %d rows cold (replayed %d): the store missed", decided, replayed)
+		}
+	}
+	b.StopTimer()
+	if delta := bisim.ComputeCalls() - before; delta != 0 {
+		b.Fatalf("replay iterations ran %d refinement computations, want 0", delta)
 	}
 }

@@ -16,6 +16,8 @@
 //	experiments -sweep default   # the default battery: sizes 4..20, up to the 21M-state r=20 ring
 //	experiments -sweep 6,8 -topologies star,torus   # sweep selected topologies only
 //	experiments -sweep default -build-workers 4     # cap the construction pool
+//	experiments -sweep default -warm                # seed each size from the previous one
+//	experiments -sweep default -store .verdicts     # replay/record verdicts across runs
 //	experiments -sweep default -cpuprofile sweep.prof   # profile the run
 //
 // A sweep covers every built-in topology (ring, star, line, tree, torus,
@@ -57,6 +59,8 @@ func run() int {
 	buildWorkers := flag.Int("build-workers", 0, "parallel packed-BFS construction pool size for sweeps and instance builds (0 = one per CPU)")
 	sweep := flag.String("sweep", "", `comma separated sizes ("default" for the standard battery): decide each topology's cutoff correspondence for each size, streaming results`)
 	topologies := flag.String("topologies", "all", `comma separated topologies to sweep ("all" or a subset of `+strings.Join(podc.TopologyNames(), ",")+`)`)
+	storeDir := flag.String("store", "", "persistent verdict store directory: replay already-decided correspondences from it and record fresh ones (created if needed)")
+	warm := flag.Bool("warm", false, "warm-started sweeps: decide sizes in ascending order, seeding each refinement with the previous size's partition")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the run to this file")
 	flag.Parse()
@@ -92,7 +96,14 @@ func run() int {
 		}()
 	}
 
-	session := podc.NewSession(podc.WithWorkers(*workers), podc.WithParallelBuild(*buildWorkers))
+	sessionOpts := []podc.Option{podc.WithWorkers(*workers), podc.WithParallelBuild(*buildWorkers)}
+	if *storeDir != "" {
+		sessionOpts = append(sessionOpts, podc.WithStore(*storeDir))
+	}
+	if *warm {
+		sessionOpts = append(sessionOpts, podc.WithWarmSweep())
+	}
+	session := podc.NewSession(sessionOpts...)
 	render := func(tbl *podc.Table) {
 		switch {
 		case *jsonOut:
@@ -233,8 +244,15 @@ func runSweep(ctx context.Context, session *podc.Session, spec, topoSpec string,
 			if row.BuildOnly {
 				verdict = fmt.Sprintf("build-only (orbits=%d)", row.QuotientStates)
 			}
-			fmt.Printf("%-6s n=%-4d states=%-8d corresponds=%-5s max degree=%-3d build=%-12s decide=%s\n",
-				row.Topology, row.R, row.States, verdict, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000))
+			note := ""
+			switch {
+			case row.CacheHit:
+				note = "  [replayed from store]"
+			case row.Seeded:
+				note = "  [seeded]"
+			}
+			fmt.Printf("%-6s n=%-4d states=%-8d corresponds=%-5s max degree=%-3d build=%-12s decide=%s%s\n",
+				row.Topology, row.R, row.States, verdict, row.MaxDegree, row.Build.Round(1000), row.Decide.Round(1000), note)
 		}
 	}
 	if failed {
@@ -249,6 +267,10 @@ func runSweep(ctx context.Context, session *podc.Session, spec, topoSpec string,
 	if !jsonOut {
 		fmt.Println()
 		render(podc.SweepResultsTable(rows))
+		if st, ok := session.StoreStats(); ok {
+			fmt.Printf("store: %d replayed, %d missed, %d invalid entries recomputed, %d written\n",
+				st.Hits, st.Misses, st.Invalid, st.Writes)
+		}
 	}
 	return 0
 }

@@ -28,6 +28,7 @@ func newHandler(session *podc.Session, timeout time.Duration) http.Handler {
 	mux.HandleFunc("POST /v1/correspond", s.handleCorrespond)
 	mux.HandleFunc("POST /v1/transfer", s.handleTransfer)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/store", s.handleStoreStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -361,6 +362,33 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tbl)
+}
+
+// storeStatsResponse is the body of GET /v1/store.
+type storeStatsResponse struct {
+	// Enabled reports whether the service has a working verdict store
+	// (-store flag given and the directory usable).
+	Enabled bool  `json:"enabled"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	// Invalid counts entries that existed but failed an integrity check
+	// and were recomputed.
+	Invalid int64 `json:"invalid"`
+	Writes  int64 `json:"writes"`
+}
+
+// handleStoreStats reports the persistent verdict store's counters, so an
+// operator can see whether a service restart is answering its battery from
+// disk or re-deciding everything.
+func (s *server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session.StoreStats()
+	writeJSON(w, http.StatusOK, storeStatsResponse{
+		Enabled: ok,
+		Hits:    st.Hits,
+		Misses:  st.Misses,
+		Invalid: st.Invalid,
+		Writes:  st.Writes,
+	})
 }
 
 // statusFor maps computation errors to HTTP statuses: a cancelled or

@@ -412,3 +412,75 @@ func TestCorrespondEvidenceOmittedOnSuccess(t *testing.T) {
 		t.Errorf("no evidence expected for a holding correspondence: %s", body)
 	}
 }
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestStoreStatsDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/v1/store")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out storeStatsResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Enabled {
+		t.Fatalf("store must report disabled on a session without WithStore: %s", body)
+	}
+}
+
+func TestStoreStatsCountsCorrespondenceTraffic(t *testing.T) {
+	dir := t.TempDir()
+	session := podc.NewSession(podc.WithWorkers(2), podc.WithStore(dir))
+	ts := httptest.NewServer(newHandler(session, time.Minute))
+	t.Cleanup(ts.Close)
+
+	resp, body := postJSON(t, ts.URL+"/v1/correspond", correspondRequest{Small: 3, Large: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("correspond status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/store")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out storeStatsResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || out.Misses != 1 || out.Writes != 1 {
+		t.Fatalf("after one cold correspondence: %s (want enabled, 1 miss, 1 write)", body)
+	}
+
+	// A second service sharing the directory answers the same request from
+	// disk: its first correspondence is a store hit, not a recompute.
+	session2 := podc.NewSession(podc.WithWorkers(2), podc.WithStore(dir))
+	ts2 := httptest.NewServer(newHandler(session2, time.Minute))
+	t.Cleanup(ts2.Close)
+	resp, body = postJSON(t, ts2.URL+"/v1/correspond", correspondRequest{Small: 3, Large: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed correspond status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, ts2.URL+"/v1/store")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || out.Hits != 1 {
+		t.Fatalf("restarted service stats: %s (want 1 hit)", body)
+	}
+}

@@ -13,6 +13,7 @@
 //	POST /v1/correspond        decide the indexed ring correspondence M_small ~ M_large
 //	POST /v1/transfer          build the JSON transfer certificate for (small, large)
 //	GET  /v1/experiments/{id}  run (once) and return an experiment table, e.g. E6
+//	GET  /v1/store             persistent verdict store counters (hits/misses/invalid/writes)
 //	GET  /healthz              liveness probe
 //
 // Usage:
@@ -43,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool cap for correspondences and experiments (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request computation deadline (0 = none)")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (empty = disabled)")
+	storeDir := flag.String("store", "", "persistent verdict store directory: correspondences, certificates and evidence survive restarts and are replayed (revalidated) instead of re-decided")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -61,7 +63,11 @@ func main() {
 		}()
 	}
 
-	session := podc.NewSession(podc.WithWorkers(*workers))
+	opts := []podc.Option{podc.WithWorkers(*workers)}
+	if *storeDir != "" {
+		opts = append(opts, podc.WithStore(*storeDir))
+	}
+	session := podc.NewSession(opts...)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newHandler(session, *timeout),

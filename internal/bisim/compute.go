@@ -3,6 +3,7 @@ package bisim
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/kripke"
 )
@@ -55,8 +56,18 @@ type Result struct {
 	// harness.  For the refinement engine OuterIterations counts the
 	// refinement/divergence passes plus the final pruning rounds; for the
 	// nested-fixpoint oracle it counts the outer pruning rounds alone.
+	// Seeded and unseeded runs of the same pair return identical relations
+	// and degrees but may differ in these counters.
 	OuterIterations int
 	DegreeRounds    int
+	// BlockOfLeft / BlockOfRight are the stable partition the refinement
+	// engine read the relation off (s ~ t iff BlockOfLeft[s] ==
+	// BlockOfRight[t]), recorded only under Options.RecordPartition.  Block
+	// ids are dense but otherwise arbitrary.
+	BlockOfLeft  []int32
+	BlockOfRight []int32
+	// SeedOutcome reports what the engine did with Options.Seed.
+	SeedOutcome SeedOutcome
 }
 
 // Corresponds reports whether the two structures correspond in the sense of
@@ -86,11 +97,23 @@ func Compute(ctx context.Context, m, m2 *kripke.Structure, opts Options) (*Resul
 	if n == 0 || n2 == 0 {
 		return nil, fmt.Errorf("bisim: Compute: structures must be non-empty (got %d and %d states)", n, n2)
 	}
+	computeCalls.Add(1)
 	if opts.MaxDegreeRounds > 0 {
 		return computeFixpoint(ctx, m, m2, opts)
 	}
 	return computeRefined(ctx, m, m2, opts)
 }
+
+// computeCalls counts every Compute invocation process-wide.  Store replays
+// never reach this package, so the delta across an operation is the number
+// of decisions that actually ran an engine — which is what the cache tests
+// assert goes to zero on a second run against a populated verdict store.
+var computeCalls atomic.Int64
+
+// ComputeCalls returns the process-wide number of Compute invocations so
+// far (seeded runs count once; a rejected seed's cold restart happens
+// inside the same invocation).
+func ComputeCalls() int64 { return computeCalls.Load() }
 
 // ComputeFixpoint runs the original nested-fixpoint decision procedure on
 // the label-equal candidate pair set.  It is retained as the cross-check

@@ -151,6 +151,14 @@ func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The pool exists to overlap pair decisions on real cores; the
+	// refinement internals already honour Options.Workers inside a single
+	// decision.  More pool goroutines than cores buy no overlap but each
+	// would grow its own arena slabs, so cap the pool at the core budget
+	// (workers beyond it still parallelise *within* each Compute).
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
 	if workers > len(todo) {
 		workers = len(todo)
 	}
@@ -160,11 +168,13 @@ func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns one scratch arena, reset between pair
-			// computes, so a run over many index pairs reuses the engine's
-			// big flat buffers instead of reallocating them per pair.
+			// Each worker owns one scratch arena, allocated lazily on its
+			// first claimed pair and reset between pair computes, so a run
+			// over many index pairs reuses the engine's big flat buffers
+			// instead of reallocating them per pair — and a worker that
+			// never claims a pair never pays for slabs.
 			wOpts := opts
-			wOpts.arena = &computeArena{}
+			wOpts.SeedProvider = nil
 			for {
 				if err := cancelled(ctx); err != nil {
 					return
@@ -174,7 +184,15 @@ func IndexedCompute(ctx context.Context, m, m2 *kripke.Structure, in []IndexPair
 					return
 				}
 				p := todo[k]
-				wOpts.arena.reset()
+				if wOpts.arena == nil {
+					wOpts.arena = &computeArena{}
+				} else {
+					wOpts.arena.reset()
+				}
+				wOpts.Seed = nil
+				if opts.SeedProvider != nil {
+					wOpts.Seed = opts.SeedProvider(p, leftRed[p.I], rightRed[p.I2])
+				}
 				r, err := Compute(ctx, leftRed[p.I], rightRed[p.I2], wOpts)
 				if err != nil {
 					errs[k] = fmt.Errorf("bisim: IndexedCompute(%d,%d): %w", p.I, p.I2, err)

@@ -304,48 +304,31 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		}
 	}
 
-	// Initial partition: one block per label class.
-	r.blockOf = ar.i32s(cN, false) // fully written below
-	blockByLabel := make(map[int32]int32)
-	for c := 0; c < cN; c++ {
-		lbl := compLabel[c]
-		bid, ok := blockByLabel[lbl]
-		if !ok {
-			bid = int32(len(r.blocks))
-			blockByLabel[lbl] = bid
-			r.blocks = append(r.blocks, &rblock{set: kripke.BitSet(ar.bitset(cN, true))})
-			r.inQueue = append(r.inQueue, false)
-			r.candStamp = append(r.candStamp, 0)
-			r.blockVersion = append(r.blockVersion, 0)
-		}
-		r.blocks[bid].set.Set(c)
-		r.blocks[bid].size++
-		r.blockOf[c] = bid
-	}
+	// Initial partition: one block per label class, intersected with the
+	// seed's classes when a (well-formed) seed was supplied.  A seeded run
+	// is audited before its partition is trusted; a rejected seed restarts
+	// the refinement from the label partition alone, on the same contracted
+	// graph (seed.go explains why the audit makes any seed safe).
+	seedOf := seedComponents(opts.Seed, n, n2, comp, cN, ar)
+	r.initPartition(compLabel, seedOf, ar)
 	res := &Result{}
-	for bid := range r.blocks {
-		r.enqueue(int32(bid))
+	if err := r.stabilize(ctx, res); err != nil {
+		return nil, err
 	}
-	for {
-		if err := cancelled(ctx); err != nil {
+	if seedOf != nil {
+		ok, err := r.auditSeed(ctx, compLabel)
+		if err != nil {
 			return nil, err
 		}
-		res.OuterIterations++
-		if err := r.drain(ctx); err != nil {
-			return nil, err
-		}
-		var divChanged bool
-		if r.workers > 1 {
-			var err error
-			divChanged, err = r.divergencePassParallel(ctx)
-			if err != nil {
+		if ok {
+			res.SeedOutcome = SeedAccepted
+		} else {
+			res.SeedOutcome = SeedRejected
+			r.resetPartition()
+			r.initPartition(compLabel, nil, ar)
+			if err := r.stabilize(ctx, res); err != nil {
 				return nil, err
 			}
-		} else {
-			divChanged = r.divergencePass()
-		}
-		if !divChanged {
-			break
 		}
 	}
 
@@ -353,6 +336,11 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 	stateBlock := ar.i32s(N, false)
 	for u := 0; u < N; u++ {
 		stateBlock[u] = r.blockOf[comp[u]]
+	}
+	if opts.RecordPartition {
+		// Plain allocations: the recorded partition outlives the arena.
+		res.BlockOfLeft = append([]int32(nil), stateBlock[:n]...)
+		res.BlockOfRight = append([]int32(nil), stateBlock[n:]...)
 	}
 
 	// Minimal degrees.  With few enough blocks the successor-block set of a
@@ -390,6 +378,86 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		}
 	}
 	return pruneAndFinish(ctx, m, m2, inR, opts, res, computeDegreesFast)
+}
+
+// initPartition builds the initial blocks over the contracted components:
+// one block per label class, or — when seedOf is non-nil — per (label
+// class, seed class) pair, and enqueues every block as a splitter.  It may
+// be called again after resetPartition to restart a rejected seeded run.
+func (r *refiner) initPartition(compLabel, seedOf []int32, ar *computeArena) {
+	if r.blockOf == nil {
+		r.blockOf = ar.i32s(r.cN, false) // fully written below
+	}
+	type initKey struct{ lbl, seed int32 }
+	blockBy := make(map[initKey]int32)
+	for c := 0; c < r.cN; c++ {
+		key := initKey{lbl: compLabel[c]}
+		if seedOf != nil {
+			key.seed = seedOf[c]
+		}
+		bid, ok := blockBy[key]
+		if !ok {
+			bid = int32(len(r.blocks))
+			blockBy[key] = bid
+			set := r.getSet()
+			for i := range set {
+				set[i] = 0
+			}
+			r.blocks = append(r.blocks, &rblock{set: set})
+			r.inQueue = append(r.inQueue, false)
+			r.candStamp = append(r.candStamp, 0)
+			r.blockVersion = append(r.blockVersion, 0)
+		}
+		r.blocks[bid].set.Set(c)
+		r.blocks[bid].size++
+		r.blockOf[c] = bid
+	}
+	for bid := range r.blocks {
+		r.enqueue(int32(bid))
+	}
+}
+
+// resetPartition returns every block to the set pool and clears the
+// partition state, so initPartition can rebuild it from scratch on the same
+// contracted graph (the graph arrays — adjacency, divMask, matrix — are
+// partition-independent and stay).
+func (r *refiner) resetPartition() {
+	for _, b := range r.blocks {
+		r.putSet(b.set)
+	}
+	r.blocks = r.blocks[:0]
+	r.queue = r.queue[:0]
+	r.inQueue = r.inQueue[:0]
+	r.candStamp = r.candStamp[:0]
+	r.blockVersion = r.blockVersion[:0]
+}
+
+// stabilize runs the refinement loop — splitter drain alternating with
+// divergence passes — until the partition is stable and divergence
+// consistent, accumulating the work counters into res.
+func (r *refiner) stabilize(ctx context.Context, res *Result) error {
+	for {
+		if err := cancelled(ctx); err != nil {
+			return err
+		}
+		res.OuterIterations++
+		if err := r.drain(ctx); err != nil {
+			return err
+		}
+		var divChanged bool
+		if r.workers > 1 {
+			var err error
+			divChanged, err = r.divergencePassParallel(ctx)
+			if err != nil {
+				return err
+			}
+		} else {
+			divChanged = r.divergencePass()
+		}
+		if !divChanged {
+			return nil
+		}
+	}
 }
 
 // maskDegreeBlockLimit is the block count up to which maskedFinish packs a

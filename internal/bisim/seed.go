@@ -1,0 +1,190 @@
+package bisim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/kripke"
+)
+
+// This file implements seeded partition refinement: Compute can start from a
+// caller-supplied partition of the disjoint union instead of the label
+// partition (Options.Seed), which is how warm-started sweeps reuse the
+// stable partition of the previous family size.
+//
+// Correctness does not depend on the seed.  Refinement only ever splits
+// blocks, so the engine converges to the coarsest stable divergence-
+// consistent partition that refines seed ∧ labels.  When the seed is coarser
+// than (or equal to) the true coarsest stable refinement T of the label
+// partition, that fixpoint is exactly T; when the seed wrongly separates
+// equivalent states, the fixpoint is a strict refinement of T and the
+// relation read off it would be too small.  The engine therefore audits
+// every seeded run before trusting it: it forms the quotient of the union by
+// the refined partition — one state per block, synthetic labels per label
+// class, the induced cross-block edges, and a silent self-loop on every
+// block containing a contracted divergence node — and computes the maximal
+// self-correspondence of that quotient with the ordinary (unseeded) engine.
+//
+// The refined partition equals T exactly when the quotient's maximal
+// self-correspondence is the identity: the refined partition is stable and
+// divergence-consistent whatever the seed was, so "same T-class" projects to
+// a stable divergence-consistent partition of the quotient (stability lifts
+// every induced edge back to an inside-the-block path from *every* member,
+// and an infinite stuttering path projects to either a quotient path through
+// the class or a divergent block's self-loop).  Two mergeable blocks thus
+// show up as a non-identity related pair, the audit fails, and the engine
+// falls back to an ordinary cold refinement.  An invalid seed can only cost
+// time, never correctness.
+
+// Seed is a caller-supplied starting partition for the refinement engine of
+// Compute: Left[s] and Right[t] assign every state of the two structures a
+// class id (non-negative; the id space is shared across the two sides, so a
+// left and a right state with the same id start in the same block).  The
+// engine intersects the seed with the label partition, refines to stability
+// and audits the result, so a seed that is wrong — too fine, misaligned,
+// or from an unrelated computation — degrades to a cold recomputation, never
+// to a wrong answer.  A seed whose slices do not cover the state sets is
+// ignored outright.
+type Seed struct {
+	Left  []int32
+	Right []int32
+}
+
+// SeedFromResult turns a recorded partition (Options.RecordPartition) back
+// into a seed, which is exact for re-deciding the same pair and the starting
+// point for projecting onto a neighbouring family size.
+func SeedFromResult(res *Result) *Seed {
+	if res == nil || res.BlockOfLeft == nil || res.BlockOfRight == nil {
+		return nil
+	}
+	return &Seed{Left: res.BlockOfLeft, Right: res.BlockOfRight}
+}
+
+// SeedOutcome reports what the refinement engine did with Options.Seed.
+type SeedOutcome int
+
+const (
+	// SeedUnused: no seed was supplied (or the selected engine ignores
+	// seeds — the nested-fixpoint oracle always starts cold).
+	SeedUnused SeedOutcome = iota
+	// SeedAccepted: the seeded refinement passed the quotient audit; the
+	// result was produced without a cold refinement.
+	SeedAccepted
+	// SeedRejected: the audit found the seeded partition too fine (or the
+	// seed was malformed / beyond the audit budget) and the engine
+	// recomputed from the label partition.  The result is identical to an
+	// unseeded run's.
+	SeedRejected
+)
+
+func (o SeedOutcome) String() string {
+	switch o {
+	case SeedAccepted:
+		return "accepted"
+	case SeedRejected:
+		return "rejected"
+	default:
+		return "unused"
+	}
+}
+
+// seedComponents folds a seed onto the contracted component graph: the seed
+// class of a component is the class of one of its members.  Members of one
+// silent SCC are equivalent regardless of the seed, so a seed disagreeing
+// inside a component is merely coarsened there (and the audit still guards
+// the overall outcome).  It returns nil — "start cold" — for a seed that
+// does not cover both state sets or carries negative class ids.
+func seedComponents(seed *Seed, n, n2 int, comp []int, cN int, ar *computeArena) []int32 {
+	if seed == nil || len(seed.Left) != n || len(seed.Right) != n2 {
+		return nil
+	}
+	for _, c := range seed.Left {
+		if c < 0 {
+			return nil
+		}
+	}
+	for _, c := range seed.Right {
+		if c < 0 {
+			return nil
+		}
+	}
+	out := ar.i32s(cN, false) // every component has a member, so fully written
+	for s, c := range seed.Left {
+		out[comp[s]] = c
+	}
+	for t, c := range seed.Right {
+		out[comp[n+t]] = c
+	}
+	return out
+}
+
+// seedAuditBlockLimit bounds the quotient size the audit is willing to
+// self-check.  The audit costs a full (unseeded) Compute on a structure with
+// one state per block; past this many blocks a cold recomputation of the
+// original pair is assumed cheaper than auditing, so the seed is rejected
+// without one.  The limit is far above every partition the family engines
+// produce (tens of blocks); it exists to keep adversarial seeds from turning
+// the audit itself into the expensive step.
+var seedAuditBlockLimit = 1 << 12
+
+// auditSeed decides whether the refined partition (r.blocks over the
+// contracted graph) is the coarsest stable divergence-consistent refinement
+// of the label partition, by checking that the block quotient's maximal
+// self-correspondence is the identity.  It must only be called once the
+// partition is stable.  A false verdict (with nil error) tells the caller to
+// restart from the label partition.
+func (r *refiner) auditSeed(ctx context.Context, compLabel []int32) (bool, error) {
+	K := len(r.blocks)
+	if K > seedAuditBlockLimit {
+		return false, nil
+	}
+	// One quotient state per block, labelled by the block's label class
+	// (blocks are label-pure: the initial partition refines labels and
+	// refinement only splits).  The synthetic proposition name encodes the
+	// interned class id, so distinct classes get distinct label keys and the
+	// audit needs no OneProps of its own.
+	b := kripke.NewBuilder("bisim-seed-audit")
+	blockLbl := make([]int32, K)
+	for c := 0; c < r.cN; c++ {
+		blockLbl[r.blockOf[c]] = compLabel[c]
+	}
+	for k := 0; k < K; k++ {
+		b.AddState(kripke.P(fmt.Sprintf("q%d", blockLbl[k])))
+	}
+	// Induced edges between distinct blocks, and a silent self-loop on every
+	// block holding a contracted divergence node: after stabilisation a
+	// block diverges iff it contains one (the inside of a block is acyclic
+	// otherwise), and the self-loop is what carries that fact into the
+	// quotient's own divergence analysis.  The builder dedups edges.
+	for c := 0; c < r.cN; c++ {
+		bc := kripke.State(r.blockOf[c])
+		for _, d := range r.cSucc[c] {
+			if bd := kripke.State(r.blockOf[d]); bd != bc {
+				if err := b.AddTransition(bc, bd); err != nil {
+					return false, nil
+				}
+			}
+		}
+		if r.divMask.Get(c) {
+			if err := b.AddTransition(bc, bc); err != nil {
+				return false, nil
+			}
+		}
+	}
+	if err := b.SetInitial(0); err != nil {
+		return false, nil
+	}
+	q, err := b.BuildPartial()
+	if err != nil {
+		// A quotient the builder refuses is not auditable; treat the seed
+		// as unverified rather than failing the computation.
+		return false, nil
+	}
+	ares, err := Compute(ctx, q, q, Options{})
+	if err != nil {
+		return false, err
+	}
+	// The maximal self-correspondence always contains the identity, so it
+	// is the identity exactly when it has one pair per block.
+	return ares.Relation.Size() == K, nil
+}

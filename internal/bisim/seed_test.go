@@ -1,0 +1,232 @@
+package bisim_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+)
+
+// This is the differential battery for seeded partition refinement: on every
+// input and at every worker count, bisim.Compute with Options.Seed must
+// return exactly the relation and degrees of an unseeded run (which the
+// parallel battery in turn pins to the nested-fixpoint oracle) — whether the
+// seed is the exact previous partition, deliberately wrong, or malformed.
+// The audit pass of seed.go is what makes the wrong-seed rows pass: a seed
+// that over-splits is detected on the block quotient and the engine restarts
+// cold.
+
+// coldResult computes the unseeded reference with the recorded partition.
+func coldResult(t *testing.T, m, m2 *kripke.Structure, opts bisim.Options) *bisim.Result {
+	t.Helper()
+	opts.Seed = nil
+	opts.RecordPartition = true
+	res, err := bisim.Compute(context.Background(), m, m2, opts)
+	if err != nil {
+		t.Fatalf("cold Compute: %v", err)
+	}
+	if res.SeedOutcome != bisim.SeedUnused {
+		t.Fatalf("cold Compute: SeedOutcome = %v, want unused", res.SeedOutcome)
+	}
+	return res
+}
+
+// assertSeededMatches runs the seeded compute at every worker count and
+// checks the result against the cold reference.  wantOutcome < 0 accepts
+// any audit verdict (used where accept/reject legitimately depends on the
+// structure).
+func assertSeededMatches(t *testing.T, label string, m, m2 *kripke.Structure, opts bisim.Options, seed *bisim.Seed, cold *bisim.Result, wantOutcome bisim.SeedOutcome) {
+	t.Helper()
+	for _, w := range differentialWorkerCounts {
+		sOpts := opts
+		sOpts.Workers = w
+		sOpts.Seed = seed
+		sOpts.RecordPartition = true
+		got, err := bisim.Compute(context.Background(), m, m2, sOpts)
+		if err != nil {
+			t.Fatalf("%s workers=%d: seeded Compute: %v", label, w, err)
+		}
+		assertSameResult(t, fmt.Sprintf("%s workers=%d", label, w), got, cold)
+		if wantOutcome >= 0 && got.SeedOutcome != wantOutcome {
+			t.Fatalf("%s workers=%d: SeedOutcome = %v, want %v", label, w, got.SeedOutcome, wantOutcome)
+		}
+		// The recorded partitions must induce the same relation; block ids
+		// are arbitrary, so compare through the pair predicate.
+		if got.BlockOfLeft == nil || got.BlockOfRight == nil {
+			t.Fatalf("%s workers=%d: RecordPartition left nil partitions", label, w)
+		}
+		for s := range got.BlockOfLeft {
+			for u := range got.BlockOfRight {
+				same := got.BlockOfLeft[s] == got.BlockOfRight[u]
+				_, inRel := cold.Relation.Degree(kripke.State(s), kripke.State(u))
+				if same != inRel {
+					t.Fatalf("%s workers=%d: partition disagrees with relation at (%d,%d): sameBlock=%v related=%v",
+						label, w, s, u, same, inRel)
+				}
+			}
+		}
+	}
+}
+
+// anyOutcome accepts whatever the audit decided.
+const anyOutcome = bisim.SeedOutcome(-1)
+
+func TestSeedExactIsAcceptedAndIdentical(t *testing.T) {
+	cycle := twoStateCycle(t)
+	for stutter := 0; stutter <= 4; stutter++ {
+		other := stutteredCycle(t, stutter)
+		label := fmt.Sprintf("cycle/stutter=%d", stutter)
+		cold := coldResult(t, cycle, other, bisim.Options{})
+		assertSeededMatches(t, label, cycle, other, bisim.Options{}, bisim.SeedFromResult(cold), cold, bisim.SeedAccepted)
+	}
+}
+
+func TestSeedExactOnRandomStructures(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + r.Intn(10)
+		n2 := 3 + r.Intn(10)
+		m := randomStructure(r, n, 2, fmt.Sprintf("seedL%d", trial))
+		m2 := randomStructure(r, n2, 2, fmt.Sprintf("seedR%d", trial))
+		cold := coldResult(t, m, m2, bisim.Options{})
+		assertSeededMatches(t, fmt.Sprintf("random/%d", trial), m, m2, bisim.Options{},
+			bisim.SeedFromResult(cold), cold, bisim.SeedAccepted)
+	}
+}
+
+// TestSeedAdversarial drives deliberately wrong seeds through the engine:
+// the fully-discrete seed (every state its own class) over-splits anything
+// with a non-trivial quotient, and the garbage seed misaligns the two sides.
+// The audit must force both back to the correct result.
+func TestSeedAdversarial(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(9)
+		n2 := 3 + r.Intn(9)
+		m := randomStructure(r, n, 1, fmt.Sprintf("advL%d", trial))
+		m2 := randomStructure(r, n2, 1, fmt.Sprintf("advR%d", trial))
+		cold := coldResult(t, m, m2, bisim.Options{})
+
+		discrete := &bisim.Seed{Left: make([]int32, n), Right: make([]int32, n2)}
+		for s := range discrete.Left {
+			discrete.Left[s] = int32(s)
+		}
+		for u := range discrete.Right {
+			discrete.Right[u] = int32(n + u)
+		}
+		assertSeededMatches(t, fmt.Sprintf("adversarial/discrete/%d", trial), m, m2, bisim.Options{}, discrete, cold, anyOutcome)
+
+		garbage := &bisim.Seed{Left: make([]int32, n), Right: make([]int32, n2)}
+		for s := range garbage.Left {
+			garbage.Left[s] = int32(s % 3)
+		}
+		for u := range garbage.Right {
+			garbage.Right[u] = int32((u*7 + 1) % 3)
+		}
+		assertSeededMatches(t, fmt.Sprintf("adversarial/garbage/%d", trial), m, m2, bisim.Options{}, garbage, cold, anyOutcome)
+	}
+}
+
+// TestSeedAdversarialRejectionObserved pins that the audit actually fires:
+// a structure with a collapsible pair of states (the stuttered cycle is
+// stuttering-equivalent to the plain cycle) must reject the discrete seed,
+// not silently return the over-split relation.
+func TestSeedAdversarialRejectionObserved(t *testing.T) {
+	cycle := twoStateCycle(t)
+	other := stutteredCycle(t, 3)
+	cold := coldResult(t, cycle, other, bisim.Options{})
+	n, n2 := cycle.NumStates(), other.NumStates()
+	discrete := &bisim.Seed{Left: make([]int32, n), Right: make([]int32, n2)}
+	for s := range discrete.Left {
+		discrete.Left[s] = int32(s)
+	}
+	for u := range discrete.Right {
+		discrete.Right[u] = int32(n + u)
+	}
+	sOpts := bisim.Options{Seed: discrete}
+	got, err := bisim.Compute(context.Background(), cycle, other, sOpts)
+	if err != nil {
+		t.Fatalf("seeded Compute: %v", err)
+	}
+	if got.SeedOutcome != bisim.SeedRejected {
+		t.Fatalf("SeedOutcome = %v, want rejected (the discrete seed separates equivalent stutter states)", got.SeedOutcome)
+	}
+	assertSameResult(t, "rejected-seed result", got, cold)
+}
+
+// TestSeedMalformedIgnored: seeds that do not cover the state sets, or
+// carry negative ids, must be ignored (outcome "unused"), not crash or
+// distort the result.
+func TestSeedMalformedIgnored(t *testing.T) {
+	m := twoStateCycle(t)
+	m2 := stutteredCycle(t, 2)
+	cold := coldResult(t, m, m2, bisim.Options{})
+	bad := []*bisim.Seed{
+		{Left: []int32{0}, Right: make([]int32, m2.NumStates())},
+		{Left: make([]int32, m.NumStates()), Right: nil},
+		{Left: []int32{0, -1}, Right: make([]int32, m2.NumStates())},
+		nil,
+	}
+	for i, seed := range bad {
+		sOpts := bisim.Options{Seed: seed}
+		got, err := bisim.Compute(context.Background(), m, m2, sOpts)
+		if err != nil {
+			t.Fatalf("malformed seed %d: %v", i, err)
+		}
+		if got.SeedOutcome != bisim.SeedUnused {
+			t.Fatalf("malformed seed %d: SeedOutcome = %v, want unused", i, got.SeedOutcome)
+		}
+		assertSameResult(t, fmt.Sprintf("malformed/%d", i), got, cold)
+	}
+}
+
+// TestSeedAuditBudgetRejects: past the audit block budget the engine must
+// refuse to trust any seed (the audit would cost more than a cold solve)
+// and still produce the correct result.
+func TestSeedAuditBudgetRejects(t *testing.T) {
+	old := bisim.SetSeedAuditBlockLimit(1)
+	defer bisim.SetSeedAuditBlockLimit(old)
+	m := twoStateCycle(t)
+	m2 := stutteredCycle(t, 2)
+	cold := coldResult(t, m, m2, bisim.Options{})
+	got, err := bisim.Compute(context.Background(), m, m2, bisim.Options{Seed: bisim.SeedFromResult(cold)})
+	if err != nil {
+		t.Fatalf("seeded Compute: %v", err)
+	}
+	if got.SeedOutcome != bisim.SeedRejected {
+		t.Fatalf("SeedOutcome = %v, want rejected (audit budget 1 block)", got.SeedOutcome)
+	}
+	assertSameResult(t, "budget-rejected", got, cold)
+}
+
+// TestSeedFixpointOracleIgnoresSeeds: the nested-fixpoint engine has no
+// partition to seed; Options.Seed must be inert there.
+func TestSeedFixpointOracleIgnoresSeeds(t *testing.T) {
+	m := twoStateCycle(t)
+	m2 := stutteredCycle(t, 1)
+	cold := coldResult(t, m, m2, bisim.Options{})
+	got, err := bisim.ComputeFixpoint(context.Background(), m, m2, bisim.Options{Seed: bisim.SeedFromResult(cold), RecordPartition: true})
+	if err != nil {
+		t.Fatalf("ComputeFixpoint: %v", err)
+	}
+	if got.SeedOutcome != bisim.SeedUnused || got.BlockOfLeft != nil || got.BlockOfRight != nil {
+		t.Fatalf("fixpoint oracle must ignore seeds and record no partition (outcome %v)", got.SeedOutcome)
+	}
+	assertSameResult(t, "oracle", got, cold)
+}
+
+// TestSeedGenericDegreePath drives a seeded run down the generic
+// prune-and-finish tail (mask limit lowered), which the partition recording
+// and audit must survive unchanged.
+func TestSeedGenericDegreePath(t *testing.T) {
+	old := bisim.SetMaskDegreeBlockLimit(1)
+	defer bisim.SetMaskDegreeBlockLimit(old)
+	r := rand.New(rand.NewSource(47))
+	m := randomStructure(r, 8, 2, "genericL")
+	m2 := randomStructure(r, 9, 2, "genericR")
+	cold := coldResult(t, m, m2, bisim.Options{})
+	assertSeededMatches(t, "generic", m, m2, bisim.Options{}, bisim.SeedFromResult(cold), cold, bisim.SeedAccepted)
+}

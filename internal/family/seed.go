@@ -1,0 +1,272 @@
+package family
+
+// Warm-started sweeps.  A topology sweep decides the correspondence
+// M_small ~ M_n for every n in a range; consecutive sizes share almost all
+// of their structure, so the stable partition found at size n is an
+// excellent guess for size n+1.  This file carries that guess across sizes:
+// a topology that can say how a size-(n+1) state "forgets" its extra
+// process (StateProjector) induces a bisim.Seed for every index pair the
+// two sizes share, and the refinement engine of internal/bisim starts from
+// that seed instead of the label partition.  The engine audits every seed
+// (see internal/bisim/seed.go), so a projection that turns out wrong for
+// some size costs one cold recompute — never a wrong answer.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+	"repro/internal/ring"
+)
+
+// StateProjector is an optional Topology capability: projecting the states
+// of a larger instance onto a smaller one, the inductive glue of a
+// warm-started sweep.
+type StateProjector interface {
+	// ProjectStates maps every state of next (the size-nextN instance) to
+	// a state of prev (the size-prevN instance) whose behaviour, observed
+	// at the index `observed` (a raw process index, shared by both sizes),
+	// it is expected to mirror.  The returned slice has next.NumStates()
+	// entries.  Values in [0, prev.NumStates()) name prev states; values
+	// ≥ prev.NumStates() are synthetic groups for next-states with no
+	// usable prev counterpart, equal configurations sharing a value.  The
+	// projection is a heuristic — the seed audit in internal/bisim keeps a
+	// wrong projection from affecting results — but it must be total: an
+	// error means no seeding for this pair.
+	ProjectStates(prevN, nextN, observed int, prev, next *kripke.Structure) ([]int32, error)
+}
+
+// ringParts decodes the per-process parts of every state of a ring
+// structure of size r from its labels, which fully determine them
+// (ring.GlobalState.Label): d_i ⇒ delayed, c_i ⇒ critical, n_i with
+// t_i ⇒ token holder, n_i alone ⇒ neutral.  The returned slice holds one
+// r-byte key per state, byte i-1 being the ring.Part of process i.
+func ringParts(m *kripke.Structure, r int) ([]string, error) {
+	keys := make([]string, m.NumStates())
+	buf := make([]byte, r)
+	for s := 0; s < m.NumStates(); s++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		var token uint64
+		for _, p := range m.Label(kripke.State(s)) {
+			if !p.Indexed || p.Index < 1 || p.Index > r {
+				return nil, fmt.Errorf("state %d: unexpected ring proposition %v", s, p)
+			}
+			switch p.Name {
+			case ring.PropDelayed:
+				buf[p.Index-1] = byte(ring.Delayed)
+			case ring.PropCritical:
+				buf[p.Index-1] = byte(ring.Critical)
+			case ring.PropNeutral:
+				// Neutral is the zero part; token presence upgrades it
+				// below.
+			case ring.PropToken:
+				token |= 1 << uint(p.Index-1)
+			default:
+				return nil, fmt.Errorf("state %d: unexpected ring proposition %v", s, p)
+			}
+		}
+		for i := range buf {
+			if token&(1<<uint(i)) != 0 && buf[i] == byte(ring.Neutral) {
+				buf[i] = byte(ring.Token)
+			}
+		}
+		keys[s] = string(buf)
+	}
+	return keys, nil
+}
+
+// ringForwardBetween reports whether position x lies strictly between from
+// and to in the token's direction of travel around a ring of r processes
+// (both endpoints exclusive).  When from == to the interval wraps the whole
+// ring: every other position is "between".
+func ringForwardBetween(from, to, x, r int) bool {
+	dist := func(a, b int) int { return ((b-a)%r + r) % r }
+	if from == to {
+		return x != from
+	}
+	dx := dist(from, x)
+	return dx > 0 && dx < dist(from, to)
+}
+
+// ProjectStates implements StateProjector for the ring.  What the
+// correspondence observes about a size-r state is the future of one
+// process `observed`, and that future is insensitive to neutral processes
+// elsewhere: they only forward the token, which the stuttering closure of
+// the logic cannot see.  So a size-(nextN) state projects to the
+// size-prevN state obtained by deleting one neutral process at a position
+// above `observed` (keeping the observed index, the token holder and the
+// delayed set intact).  States with no such neutral process fall back to
+// deleting a delayed process whose interval — between the holder and the
+// observed process, or the complement — retains another delayed process,
+// preserving which intervals can still delay the token.  States with no
+// safe deletion at all land in synthetic groups for the seed audit to
+// adjudicate.  nextN must be prevN+1; larger steps are composed by the
+// sweep one size at a time.
+func (ringTopology) ProjectStates(prevN, nextN, observed int, prev, next *kripke.Structure) ([]int32, error) {
+	if nextN != prevN+1 {
+		return nil, fmt.Errorf("ring projection steps one size at a time, got %d -> %d", prevN, nextN)
+	}
+	if observed < 1 || observed > prevN {
+		return nil, fmt.Errorf("observed index %d does not exist at both sizes %d and %d", observed, prevN, nextN)
+	}
+	prevKeys, err := ringParts(prev, prevN)
+	if err != nil {
+		return nil, fmt.Errorf("decoding size-%d ring states: %w", prevN, err)
+	}
+	nextKeys, err := ringParts(next, nextN)
+	if err != nil {
+		return nil, fmt.Errorf("decoding size-%d ring states: %w", nextN, err)
+	}
+	stateOf := make(map[string]int32, len(prevKeys))
+	for s, k := range prevKeys {
+		stateOf[k] = int32(s)
+	}
+	proj := make([]int32, len(nextKeys))
+	synthetic := make(map[string]int32)
+	assign := func(t int, key string) {
+		if s, ok := stateOf[key]; ok {
+			proj[t] = s
+			return
+		}
+		id, ok := synthetic[key]
+		if !ok {
+			id = int32(len(prevKeys) + len(synthetic))
+			synthetic[key] = id
+		}
+		proj[t] = id
+	}
+	for t, k := range nextKeys {
+		holder := 0
+		for p := 1; p <= nextN; p++ {
+			if pt := ring.Part(k[p-1]); pt == ring.Token || pt == ring.Critical {
+				holder = p
+				break
+			}
+		}
+		if holder == 0 {
+			// No token holder: not a protocol state; group verbatim.
+			assign(t, k)
+			continue
+		}
+		drop := 0
+		for p := nextN; p >= 1; p-- {
+			if p != observed && ring.Part(k[p-1]) == ring.Neutral {
+				drop = p
+				break
+			}
+		}
+		if drop == 0 {
+			for p := nextN; p >= 1; p-- {
+				if p == observed || ring.Part(k[p-1]) != ring.Delayed {
+					continue
+				}
+				sameInterval := func(q int) bool {
+					return ringForwardBetween(holder, observed, q, nextN) ==
+						ringForwardBetween(holder, observed, p, nextN)
+				}
+				for q := 1; q <= nextN; q++ {
+					if q != p && ring.Part(k[q-1]) == ring.Delayed && sameInterval(q) {
+						drop = p
+						break
+					}
+				}
+				if drop != 0 {
+					break
+				}
+			}
+		}
+		if drop == 0 {
+			assign(t, k)
+			continue
+		}
+		key := k[:drop-1] + k[drop:]
+		if drop < observed {
+			// Deleting below the observed process shifted it down by one;
+			// rotating every process one step forward (an automorphism of
+			// the ring protocol) puts it back at its index.
+			key = key[prevN-1:] + key[:prevN-1]
+		}
+		assign(t, key)
+	}
+	return proj, nil
+}
+
+// WarmSeedProvider turns the recorded partitions of the size-prevN decision
+// into a bisim seed provider for the size-nextN decision of the same
+// topology.  It returns nil — meaning a cold decision — when the topology
+// cannot project states or when prevRes is absent; the per-pair provider
+// additionally returns nil seeds for pairs the two sizes do not share, for
+// pairs whose previous decision carries no partitions (the previous run did
+// not set bisim.Options.RecordPartition), and for pairs whose observed
+// index cannot be projected.  Projections are computed lazily per observed
+// index and cached; the provider is safe for the concurrent calls
+// bisim.IndexedCompute makes from its worker pool.
+func WarmSeedProvider(topo Topology, prevN, nextN int, prev, next *kripke.Structure, prevRes *bisim.IndexedResult) func(bisim.IndexPair, *kripke.Structure, *kripke.Structure) *bisim.Seed {
+	sp, ok := topo.(StateProjector)
+	if !ok || prev == nil || next == nil || prevRes == nil || len(prevRes.Pairs) == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	projections := make(map[int][]int32)
+	projectionFor := func(observed int) []int32 {
+		mu.Lock()
+		defer mu.Unlock()
+		if proj, ok := projections[observed]; ok {
+			return proj
+		}
+		proj, err := sp.ProjectStates(prevN, nextN, observed, prev, next)
+		if err != nil || len(proj) != next.NumStates() {
+			proj = nil
+		}
+		projections[observed] = proj
+		return proj
+	}
+	return func(p bisim.IndexPair, left, right *kripke.Structure) *bisim.Seed {
+		prevPair, ok := prevRes.Pairs[p]
+		if !ok || prevPair.BlockOfLeft == nil || prevPair.BlockOfRight == nil {
+			return nil
+		}
+		proj := projectionFor(p.I2)
+		if proj == nil {
+			return nil
+		}
+		// Reductions preserve state identities (kripke.ReduceNormalized),
+		// so the small side's partition carries over verbatim and the
+		// large side's projects state-by-state.  Anything that does not
+		// line up means the caller paired structures this provider was
+		// not built for; fall back to cold.
+		if left.NumStates() != len(prevPair.BlockOfLeft) || right.NumStates() != len(proj) {
+			return nil
+		}
+		base := int32(0)
+		for _, b := range prevPair.BlockOfLeft {
+			if b >= base {
+				base = b + 1
+			}
+		}
+		for _, b := range prevPair.BlockOfRight {
+			if b >= base {
+				base = b + 1
+			}
+		}
+		seed := &bisim.Seed{
+			Left:  append([]int32(nil), prevPair.BlockOfLeft...),
+			Right: make([]int32, len(proj)),
+		}
+		prevStates := int32(len(prevPair.BlockOfRight))
+		for t, ps := range proj {
+			if ps < prevStates {
+				seed.Right[t] = prevPair.BlockOfRight[ps]
+			} else {
+				// A configuration with no usable counterpart in the
+				// smaller ring: give each such group its own fresh class
+				// beyond the previous partition's ids.
+				seed.Right[t] = base + (ps - prevStates)
+			}
+		}
+		return seed
+	}
+}

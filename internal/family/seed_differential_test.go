@@ -1,0 +1,348 @@
+package family
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/kripke"
+)
+
+// This file is the family-level half of the seeded-refinement differential
+// battery (the bisim-level half lives in internal/bisim/seed_test.go): the
+// SeedProvider plumbing of IndexedCompute, the ring's state projection, and
+// the WarmSeedProvider glue must leave every topology's verdicts, degrees,
+// evidence and minimized quotients byte-identical to the cold engine at
+// every worker count.
+
+var seedWorkerCounts = []int{1, 2, 4, 8}
+
+// coldIndexed decides the correspondence cold with recorded partitions.
+func coldIndexed(t *testing.T, topo Topology, small *kripke.Structure, smallN int, large *kripke.Structure, largeN int) *bisim.IndexedResult {
+	t.Helper()
+	opts := CorrespondOptions(topo)
+	opts.RecordPartition = true
+	res, err := bisim.IndexedCompute(context.Background(), small, large, topo.IndexRelation(smallN, largeN), opts)
+	if err != nil {
+		t.Fatalf("%s: cold IndexedCompute(%d,%d): %v", topo.Name(), smallN, largeN, err)
+	}
+	return res
+}
+
+// assertSameIndexed compares two indexed results pair by pair with the
+// differential suite's correspondence assertion, and additionally demands
+// byte-identical minimized quotients of the large side's reductions — the
+// strongest observable artifact downstream consumers derive from a result.
+func assertSameIndexed(t *testing.T, label string, topo Topology, large *kripke.Structure, got, want *bisim.IndexedResult) {
+	t.Helper()
+	if got.INTotalLeft != want.INTotalLeft || got.INTotalRight != want.INTotalRight {
+		t.Fatalf("%s: totality flags differ", label)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: pair counts differ: %d vs %d", label, len(got.Pairs), len(want.Pairs))
+	}
+	for p, w := range want.Pairs {
+		g, ok := got.Pairs[p]
+		if !ok {
+			t.Fatalf("%s: missing pair %v", label, p)
+		}
+		assertSameCorrespondence(t, fmt.Sprintf("%s pair %v", label, p), g, w)
+	}
+	// Quotients: a Minimize seeded with the cold quotient's own class map
+	// (a stable partition by construction) must reproduce the cold
+	// quotient byte for byte.
+	mopts := bisim.Options{OneProps: topo.Atoms(), ReachableOnly: true}
+	coldQ, err := bisim.Minimize(context.Background(), large, mopts)
+	if err != nil {
+		t.Fatalf("%s: cold Minimize: %v", label, err)
+	}
+	seed := &bisim.Seed{
+		Left:  make([]int32, large.NumStates()),
+		Right: make([]int32, large.NumStates()),
+	}
+	for s, c := range coldQ.ClassOf {
+		seed.Left[s], seed.Right[s] = int32(c), int32(c)
+	}
+	sopts := mopts
+	sopts.Seed = seed
+	warmQ, err := bisim.Minimize(context.Background(), large, sopts)
+	if err != nil {
+		t.Fatalf("%s: seeded Minimize: %v", label, err)
+	}
+	if encodeText(t, warmQ.Quotient) != encodeText(t, coldQ.Quotient) {
+		t.Fatalf("%s: seeded minimized quotient differs from cold", label)
+	}
+}
+
+// TestRingProjectStates checks the ring projection's contract: total over
+// the larger instance, mostly landing on real states of the smaller one,
+// and stable (equal configurations share synthetic ids).
+func TestRingProjectStates(t *testing.T) {
+	topo := Ring()
+	sp, ok := topo.(StateProjector)
+	if !ok {
+		t.Fatal("ring topology must implement StateProjector")
+	}
+	for n := 3; n <= 6; n++ {
+		prev, err := topo.Build(n)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		next, err := topo.Build(n + 1)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n+1, err)
+		}
+		for observed := 1; observed <= n; observed++ {
+			proj, err := sp.ProjectStates(n, n+1, observed, prev, next)
+			if err != nil {
+				t.Fatalf("ProjectStates(%d,%d,%d): %v", n, n+1, observed, err)
+			}
+			if len(proj) != next.NumStates() {
+				t.Fatalf("projection not total: %d entries for %d states", len(proj), next.NumStates())
+			}
+			real := 0
+			for s, ps := range proj {
+				if ps < 0 {
+					t.Fatalf("state %d: negative projection %d", s, ps)
+				}
+				if int(ps) < prev.NumStates() {
+					real++
+				}
+			}
+			if real*2 < len(proj) {
+				t.Fatalf("size %d -> %d observed %d: only %d/%d states project onto the smaller ring",
+					n+1, n, observed, real, len(proj))
+			}
+		}
+		// Steps larger than one size, and indices absent from either size,
+		// are not defined.
+		if _, err := sp.ProjectStates(n, n+2, 1, prev, next); err == nil {
+			t.Fatalf("ProjectStates(%d,%d) should refuse multi-size steps", n, n+2)
+		}
+		if _, err := sp.ProjectStates(n, n+1, n+1, prev, next); err == nil {
+			t.Fatal("ProjectStates should refuse an observed index beyond the smaller size")
+		}
+	}
+}
+
+// TestWarmSeededRingSweepMatchesCold is the warm-start differential: a
+// ring sweep where each size is seeded from the previous size's recorded
+// partition must produce exactly the cold results, at every worker count,
+// and the projection must be good enough that shared index pairs actually
+// accept their seeds (otherwise "warm" silently decays to cold and the
+// sweep optimisation is fiction).
+func TestWarmSeededRingSweepMatchesCold(t *testing.T) {
+	topo := Ring()
+	smallN := topo.CutoffSize()
+	small, err := topo.Build(smallN)
+	if err != nil {
+		t.Fatalf("Build(%d): %v", smallN, err)
+	}
+	sizes := []int{4, 5, 6, 7}
+	larges := make(map[int]*kripke.Structure)
+	colds := make(map[int]*bisim.IndexedResult)
+	for _, n := range sizes {
+		m, err := topo.Build(n)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		larges[n] = m
+		colds[n] = coldIndexed(t, topo, small, smallN, m, n)
+	}
+	for _, n := range sizes[1:] {
+		provider := WarmSeedProvider(topo, n-1, n, larges[n-1], larges[n], colds[n-1])
+		if provider == nil {
+			t.Fatalf("WarmSeedProvider(%d->%d) = nil, want a provider", n-1, n)
+		}
+		for _, w := range seedWorkerCounts {
+			opts := CorrespondOptions(topo)
+			opts.Workers = w
+			opts.RecordPartition = true
+			opts.SeedProvider = provider
+			warm, err := bisim.IndexedCompute(context.Background(), small, larges[n], topo.IndexRelation(smallN, n), opts)
+			if err != nil {
+				t.Fatalf("warm IndexedCompute(%d,%d) workers=%d: %v", smallN, n, w, err)
+			}
+			label := fmt.Sprintf("ring %d->%d workers=%d", n-1, n, w)
+			assertSameIndexed(t, label, topo, larges[n], warm, colds[n])
+			accepted := 0
+			for p, res := range warm.Pairs {
+				switch res.SeedOutcome {
+				case bisim.SeedAccepted:
+					accepted++
+				case bisim.SeedRejected:
+					t.Logf("%s: pair %v rejected its seed (audit fired; correctness preserved)", label, p)
+				}
+			}
+			if accepted == 0 {
+				t.Fatalf("%s: no pair accepted its seed — the warm path never engaged", label)
+			}
+		}
+	}
+}
+
+// TestSeededDecisionAcrossTopologies drives the SeedProvider plumbing of
+// IndexedCompute over every built-in topology with exact per-pair seeds
+// (the recorded cold partitions themselves): results must be identical to
+// cold and every seed must pass the audit.  This covers the topologies
+// without a StateProjector, whose sweeps fall back to per-size exact
+// replays in the session cache rather than projected seeds.
+func TestSeededDecisionAcrossTopologies(t *testing.T) {
+	for _, topo := range Topologies() {
+		smallN := topo.CutoffSize()
+		small, err := topo.Build(smallN)
+		if err != nil {
+			t.Fatalf("%s: Build(%d): %v", topo.Name(), smallN, err)
+		}
+		sizes := ValidSizesIn(topo, smallN+1, smallN+4)
+		if len(sizes) == 0 {
+			t.Fatalf("%s: no valid sizes past the cutoff", topo.Name())
+		}
+		n := sizes[0]
+		large, err := topo.Build(n)
+		if err != nil {
+			t.Fatalf("%s: Build(%d): %v", topo.Name(), n, err)
+		}
+		cold := coldIndexed(t, topo, small, smallN, large, n)
+		provider := func(p bisim.IndexPair, left, right *kripke.Structure) *bisim.Seed {
+			res, ok := cold.Pairs[p]
+			if !ok {
+				return nil
+			}
+			return bisim.SeedFromResult(res)
+		}
+		for _, w := range seedWorkerCounts {
+			opts := CorrespondOptions(topo)
+			opts.Workers = w
+			opts.RecordPartition = true
+			opts.SeedProvider = provider
+			seeded, err := bisim.IndexedCompute(context.Background(), small, large, topo.IndexRelation(smallN, n), opts)
+			if err != nil {
+				t.Fatalf("%s: seeded IndexedCompute workers=%d: %v", topo.Name(), w, err)
+			}
+			label := fmt.Sprintf("%s n=%d workers=%d", topo.Name(), n, w)
+			assertSameIndexed(t, label, topo, large, seeded, cold)
+			for p, res := range seeded.Pairs {
+				if res.SeedOutcome != bisim.SeedAccepted {
+					t.Fatalf("%s: pair %v: exact seed not accepted (outcome %v)", label, p, res.SeedOutcome)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmSeededRefutationEvidence pins the refutation path: the paper's
+// size-2 ring relation fails, and the failure evidence extracted from a
+// seeded decision must match the cold evidence verbatim.
+func TestWarmSeededRefutationEvidence(t *testing.T) {
+	topo := Ring()
+	small, err := topo.Build(2)
+	if err != nil {
+		t.Fatalf("Build(2): %v", err)
+	}
+	sizes := []int{3, 4}
+	larges := make(map[int]*kripke.Structure)
+	colds := make(map[int]*bisim.IndexedResult)
+	for _, n := range sizes {
+		m, err := topo.Build(n)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		larges[n] = m
+		opts := CorrespondOptions(topo)
+		opts.RecordPartition = true
+		res, err := bisim.IndexedCompute(context.Background(), small, m, topo.IndexRelation(2, n), opts)
+		if err != nil {
+			t.Fatalf("cold IndexedCompute(2,%d): %v", n, err)
+		}
+		if res.Corresponds() {
+			t.Fatalf("size-2 relation unexpectedly holds at n=%d (the reproduction refutes it)", n)
+		}
+		larges[n], colds[n] = m, res
+	}
+	provider := WarmSeedProvider(topo, 3, 4, larges[3], larges[4], colds[3])
+	if provider == nil {
+		t.Fatal("WarmSeedProvider(3->4) = nil")
+	}
+	opts := CorrespondOptions(topo)
+	opts.RecordPartition = true
+	opts.SeedProvider = provider
+	warm, err := bisim.IndexedCompute(context.Background(), small, larges[4], topo.IndexRelation(2, 4), opts)
+	if err != nil {
+		t.Fatalf("warm IndexedCompute(2,4): %v", err)
+	}
+	assertSameIndexed(t, "refutation 3->4", topo, larges[4], warm, colds[4])
+	coldEv, coldPair, err := bisim.ExplainIndexed(context.Background(), small, larges[4], colds[4], CorrespondOptions(topo))
+	if err != nil {
+		t.Fatalf("cold ExplainIndexed: %v", err)
+	}
+	warmEv, warmPair, err := bisim.ExplainIndexed(context.Background(), small, larges[4], warm, CorrespondOptions(topo))
+	if err != nil {
+		t.Fatalf("warm ExplainIndexed: %v", err)
+	}
+	if coldPair != warmPair {
+		t.Fatalf("failing pair differs: cold %v warm %v", coldPair, warmPair)
+	}
+	if coldEv.String() != warmEv.String() {
+		t.Fatalf("evidence differs:\ncold: %s\nwarm: %s", coldEv, warmEv)
+	}
+}
+
+// TestWarmSeedProviderFallbacks enumerates the "no seeding" cases: they
+// must all return nil (cold) rather than an invalid provider.
+func TestWarmSeedProviderFallbacks(t *testing.T) {
+	ringTopo := Ring()
+	prev, err := ringTopo.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := ringTopo.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ringTopo.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withParts := coldIndexed(t, ringTopo, small, 3, prev, 4)
+	opts := CorrespondOptions(ringTopo)
+	noParts, err := bisim.IndexedCompute(context.Background(), small, prev, ringTopo.IndexRelation(3, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if p := WarmSeedProvider(Star(), 4, 5, prev, next, withParts); p != nil {
+		t.Fatal("star topology has no projector; provider must be nil")
+	}
+	if p := WarmSeedProvider(ringTopo, 4, 5, prev, next, nil); p != nil {
+		t.Fatal("nil previous result must give a nil provider")
+	}
+	// Projection failures (here: a multi-size step, which the ring
+	// projector refuses) surface as nil per-pair seeds, not a nil
+	// provider: projections are computed lazily per observed index.
+	if p := WarmSeedProvider(ringTopo, 3, 5, small, next, withParts); p != nil {
+		for _, pair := range ringTopo.IndexRelation(3, 4) {
+			if s := p(pair, small.ReduceNormalized(pair.I), next.ReduceNormalized(pair.I2)); s != nil {
+				t.Fatalf("pair %v: multi-size projection step must seed cold", pair)
+			}
+		}
+	}
+	p := WarmSeedProvider(ringTopo, 4, 5, prev, next, noParts)
+	if p == nil {
+		t.Fatal("provider should exist even when partitions are missing")
+	}
+	for _, pair := range ringTopo.IndexRelation(3, 5) {
+		if s := p(pair, small.ReduceNormalized(pair.I), next.ReduceNormalized(pair.I2)); s != nil {
+			t.Fatalf("pair %v: seed from a partition-less result must be nil", pair)
+		}
+	}
+	// A mismatched pair (not decided at the previous size) seeds cold.
+	good := WarmSeedProvider(ringTopo, 4, 5, prev, next, withParts)
+	if good == nil {
+		t.Fatal("WarmSeedProvider(4->5) = nil")
+	}
+	if s := good(bisim.IndexPair{I: 99, I2: 99}, small, next); s != nil {
+		t.Fatal("unknown pair must seed cold")
+	}
+}

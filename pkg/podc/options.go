@@ -45,6 +45,14 @@ type config struct {
 	parallelBuild bool
 	buildWorkers  int
 	symmetry      bool
+
+	// persistence knobs (WithStore, WithWarmSweep): storeDir roots the
+	// persistent verdict store a Session replays decided correspondences,
+	// certificates and evidence from; warmSweep makes session sweeps decide
+	// sizes in ascending order, seeding each refinement with the previous
+	// size's partition.
+	storeDir  string
+	warmSweep bool
 }
 
 // topologyOrRing returns the configured topology, defaulting to the token
@@ -186,6 +194,32 @@ func WithParallelBuild(workers int) Option {
 // sequential Build.
 func WithSymmetry() Option {
 	return func(c *config) { c.symmetry = true }
+}
+
+// WithStore points a Session at a persistent verdict store rooted at dir
+// (created if needed).  The store is a content-addressed, engine-versioned
+// cache of decided correspondences, transfer certificates and failure
+// evidence: a session (or a later process) asking for an already-decided
+// artefact replays it from disk instead of re-running refinement.  Nothing
+// is trusted on the way back in — stored entries are integrity-checked,
+// certificates are re-validated clause by clause against freshly built
+// instances, and stored evidence formulas are re-parsed and replayed
+// through the model checker; anything that fails is discarded and
+// recomputed.  A store that cannot be opened is logged once and disabled:
+// caching never turns into a failed request.
+func WithStore(dir string) Option {
+	return func(c *config) { c.storeDir = dir }
+}
+
+// WithWarmSweep makes session sweeps decide each topology's sizes
+// sequentially in ascending order, seeding every refinement with the
+// previous size's stable partition projected to the next size
+// (family.WarmSeedProvider).  The refinement engine audits every seed, so
+// a projection that turns out wrong costs one cold recompute — never a
+// wrong answer.  Topologies without a state projection sweep cold as
+// before.
+func WithWarmSweep() Option {
+	return func(c *config) { c.warmSweep = true }
 }
 
 // WithTopology selects the family an operation works on: DecideCorrespondence

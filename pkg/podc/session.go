@@ -2,6 +2,7 @@ package podc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"iter"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/family"
 	"repro/internal/kripke"
 	"repro/internal/ring"
+	"repro/internal/store"
 )
 
 // Session is the long-lived, serving-side entry point of the library: it
@@ -31,6 +33,12 @@ import (
 // context expired can be retried.
 type Session struct {
 	cfg config
+
+	// storeOnce lazily opens the persistent verdict store (WithStore); a
+	// store that fails to open leaves the field nil, which is the no-op
+	// store.  See store.go.
+	storeOnce sync.Once
+	store     *store.Store
 
 	mu         sync.Mutex
 	rings      map[int]*flight[*Ring]
@@ -231,6 +239,16 @@ func (s *Session) Correspondence(ctx context.Context, topo Topology, small, larg
 	}
 	t := topo.raw()
 	return getOrCompute(ctx, s, s.corr, pairKey{topology: t.Name(), small: small, large: large}, func() (*IndexedCorrespondence, error) {
+		st := s.verdictStore()
+		key := s.storeKey("correspondence", t, small, large)
+		var rec store.CorrespondenceRecord
+		if ok, err := st.Get(key, &rec); err == nil && ok {
+			// Restore audits the record's internal consistency; a record
+			// that fails it is recomputed like any other miss.
+			if res, rerr := rec.Restore(); rerr == nil {
+				return &IndexedCorrespondence{res: res, in: indexPairsFromRaw(t.IndexRelation(small, large))}, nil
+			}
+		}
 		sm, err := s.topologyInstance(ctx, t, small)
 		if err != nil {
 			return nil, err
@@ -243,6 +261,7 @@ func (s *Session) Correspondence(ctx context.Context, topo Topology, small, larg
 		if err != nil {
 			return nil, err
 		}
+		storePut(st, key, store.RecordIndexed(res))
 		return &IndexedCorrespondence{res: res, in: indexPairsFromRaw(t.IndexRelation(small, large))}, nil
 	})
 }
@@ -269,6 +288,17 @@ func (s *Session) CorrespondenceEvidence(ctx context.Context, topo Topology, sma
 		return nil, nil
 	}
 	t := topo.raw()
+	st := s.verdictStore()
+	key := s.storeKey("evidence", t, small, large)
+	var rec store.EvidenceRecord
+	if ok, err := st.Get(key, &rec); err == nil && ok {
+		// Stored evidence re-enters through the replay gate: the formula is
+		// re-parsed and re-checked on the pair's rebuilt reductions.  A
+		// record that fails is discarded and the evidence re-extracted.
+		if ev, rerr := s.replayEvidenceRecord(ctx, t, small, large, &rec); rerr == nil {
+			return ev, nil
+		}
+	}
 	sm, err := s.topologyInstance(ctx, t, small)
 	if err != nil {
 		return nil, err
@@ -280,6 +310,9 @@ func (s *Session) CorrespondenceEvidence(ctx context.Context, topo Topology, sma
 	fev, err := family.ExplainBuilt(ctx, t, sm.raw(), small, lg.raw(), large, corr.res)
 	if err != nil {
 		return nil, err
+	}
+	if fev != nil {
+		storePut(st, key, evidenceRecordFromFamily(fev))
 	}
 	return evidenceFromFamily(fev), nil
 }
@@ -312,7 +345,26 @@ func (s *Session) TransferCertificate(ctx context.Context, topo Topology, small,
 	}
 	t := topo.raw()
 	return getOrCompute(ctx, s, s.certs, pairKey{topology: t.Name(), small: small, large: large}, func() (*TransferCertificate, error) {
-		return BuildTransferCertificate(ctx, s.sessionFamily(ctx, t), small, large)
+		st := s.verdictStore()
+		key := s.storeKey("certificate", t, small, large)
+		var raw json.RawMessage
+		if ok, err := st.Get(key, &raw); err == nil && ok {
+			// A stored certificate is never trusted as-is: its relations are
+			// re-checked clause by clause against freshly built (session-
+			// cached) instances, which is the certificate's whole point —
+			// validation is cheap, the decision procedure is not.
+			if cert, cerr := TransferCertificateFromJSON(raw); cerr == nil {
+				if cert.Validate(s.sessionFamily(ctx, t)) == nil {
+					return cert, nil
+				}
+			}
+		}
+		cert, err := BuildTransferCertificate(ctx, s.sessionFamily(ctx, t), small, large)
+		if err != nil {
+			return nil, err
+		}
+		storePut(st, key, cert)
+		return cert, nil
 	})
 }
 
@@ -368,6 +420,12 @@ type SweepResult struct {
 	// QuotientStates counts the orbits of the instance's automorphism
 	// group on build-only rows (zero otherwise).
 	QuotientStates int `json:"quotient_states,omitempty"`
+	// CacheHit marks sizes replayed from the session's persistent verdict
+	// store (WithStore): nothing was built or decided for them.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Seeded marks sizes whose decision accepted a warm-start seed
+	// projected from the previous size (WithWarmSweep).
+	Seeded bool `json:"seeded,omitempty"`
 	// Err is non-nil when this size failed (the sweep continues with the
 	// remaining sizes).
 	Err error `json:"-"`
@@ -406,7 +464,12 @@ func (s *Session) SweepTopology(ctx context.Context, topo Topology, sizes []int)
 	if !topo.IsValid() {
 		return errorSweep(fmt.Errorf("podc: SweepTopology: invalid topology (zero value)"), sizes)
 	}
-	runner := experiments.Runner{Workers: s.cfg.workers, BuildWorkers: s.cfg.buildWorkers}
+	runner := experiments.Runner{
+		Workers:      s.cfg.workers,
+		BuildWorkers: s.cfg.buildWorkers,
+		Store:        s.verdictStore(),
+		Warm:         s.cfg.warmSweep,
+	}
 	return func(yield func(SweepResult) bool) {
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -424,6 +487,8 @@ func (s *Session) SweepTopology(ctx context.Context, topo Topology, sizes []int)
 				StatesPerSec:   row.StatesPerSec,
 				BuildOnly:      row.BuildOnly,
 				QuotientStates: row.QuotientStates,
+				CacheHit:       row.CacheHit,
+				Seeded:         row.Seeded,
 				Err:            row.Err,
 			}
 			if !yield(res) {
@@ -469,6 +534,8 @@ func SweepResultsTable(rows []SweepResult) *Table {
 			StatesPerSec:   r.StatesPerSec,
 			BuildOnly:      r.BuildOnly,
 			QuotientStates: r.QuotientStates,
+			CacheHit:       r.CacheHit,
+			Seeded:         r.Seeded,
 			Err:            r.Err,
 		}
 	}
