@@ -1,0 +1,136 @@
+// Command podcload replays a mixed request battery against a running
+// podcserve instance at several fixed concurrency levels and records
+// throughput and latency percentiles.  Every response is verified against
+// the library: the battery's expected answers are computed in-process with
+// pkg/podc, and a response whose canonical form (wall-clock fields dropped)
+// is not byte-identical counts as a mismatch.  Any error or mismatch makes
+// the run fail with a non-zero exit, so the harness doubles as a
+// differential correctness check under load.
+//
+// Usage:
+//
+//	podcserve -addr :8080 &
+//	podcload -addr http://127.0.0.1:8080 -c 1,4,16 -n 300 -out BENCH_pr10.json
+//	podcload -addr http://127.0.0.1:8080 -smoke          # quick CI pass, no file
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/pkg/podc"
+)
+
+// report is the JSON written to -out (BENCH_pr10.json in CI/bench runs).
+type report struct {
+	Harness  string                `json:"harness"`
+	Target   string                `json:"target"`
+	Requests int                   `json:"requests_per_level"`
+	Battery  int                   `json:"battery_size"`
+	Levels   []loadgen.LevelResult `json:"levels"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the podcserve instance under test")
+	levels := flag.String("c", "1,4,16", "comma-separated concurrency levels")
+	n := flag.Int("n", 300, "requests per concurrency level")
+	out := flag.String("out", "", "write the JSON report to this file (empty = stdout summary only)")
+	smoke := flag.Bool("smoke", false, "quick pass: one small level, ignores -c and -n")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
+	flag.Parse()
+
+	if err := run(*addr, *levels, *n, *out, *smoke, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "podcload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, levels string, n int, out string, smoke bool, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	concurrencies, err := parseLevels(levels)
+	if err != nil {
+		return err
+	}
+	if smoke {
+		concurrencies, n = []int{2}, 24
+	}
+
+	// The oracle session computes the expected answers in-process; it never
+	// talks to the server, so agreement is a differential result.
+	fmt.Fprintf(os.Stderr, "podcload: computing battery expectations from the library...\n")
+	oracle := podc.NewSession()
+	battery, err := loadgen.Battery(ctx, oracle)
+	if err != nil {
+		return fmt.Errorf("building battery: %w", err)
+	}
+
+	rep := report{
+		Harness:  "cmd/podcload",
+		Target:   addr,
+		Requests: n,
+		Battery:  len(battery),
+	}
+	failed := false
+	for _, c := range concurrencies {
+		res, err := loadgen.Run(ctx, battery, loadgen.Options{
+			BaseURL:     strings.TrimSuffix(addr, "/"),
+			Concurrency: c,
+			Requests:    n,
+		})
+		if err != nil {
+			return fmt.Errorf("level c=%d: %w", c, err)
+		}
+		rep.Levels = append(rep.Levels, res)
+		fmt.Printf("c=%-3d  %6d req  %8.1f req/s  p50 %7.2fms  p99 %7.2fms  errors %d  mismatches %d\n",
+			res.Concurrency, res.Requests, res.ThroughputRPS, res.P50ms, res.P99ms, res.Errors, res.Mismatches)
+		if res.Errors > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "podcload: first error at c=%d: %s\n", c, res.FirstError)
+		}
+		if res.Mismatches > 0 {
+			failed = true
+			m := res.FirstMismatch
+			fmt.Fprintf(os.Stderr, "podcload: first mismatch at c=%d (%s):\n got: %s\nwant: %s\n",
+				c, m.Name, m.Got, m.Want)
+		}
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "podcload: wrote %s\n", out)
+	}
+	if failed {
+		return fmt.Errorf("run had errors or verdict mismatches")
+	}
+	return nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("-c: %q is not a positive integer", f)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-c: no levels given")
+	}
+	return out, nil
+}

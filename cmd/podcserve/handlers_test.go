@@ -17,7 +17,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newHandler(podc.NewSession(podc.WithWorkers(2)), time.Minute))
+	ts := httptest.NewServer(newHandler(podc.NewSession(podc.WithWorkers(2)), serverConfig{Timeout: time.Minute}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -445,7 +445,7 @@ func TestStoreStatsDisabled(t *testing.T) {
 func TestStoreStatsCountsCorrespondenceTraffic(t *testing.T) {
 	dir := t.TempDir()
 	session := podc.NewSession(podc.WithWorkers(2), podc.WithStore(dir))
-	ts := httptest.NewServer(newHandler(session, time.Minute))
+	ts := httptest.NewServer(newHandler(session, serverConfig{Timeout: time.Minute}))
 	t.Cleanup(ts.Close)
 
 	resp, body := postJSON(t, ts.URL+"/v1/correspond", correspondRequest{Small: 3, Large: 4})
@@ -467,7 +467,7 @@ func TestStoreStatsCountsCorrespondenceTraffic(t *testing.T) {
 	// A second service sharing the directory answers the same request from
 	// disk: its first correspondence is a store hit, not a recompute.
 	session2 := podc.NewSession(podc.WithWorkers(2), podc.WithStore(dir))
-	ts2 := httptest.NewServer(newHandler(session2, time.Minute))
+	ts2 := httptest.NewServer(newHandler(session2, serverConfig{Timeout: time.Minute}))
 	t.Cleanup(ts2.Close)
 	resp, body = postJSON(t, ts2.URL+"/v1/correspond", correspondRequest{Small: 3, Large: 4})
 	if resp.StatusCode != http.StatusOK {

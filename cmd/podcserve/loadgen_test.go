@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/pkg/podc"
+)
+
+// TestLoadBatteryVerdictsAreByteIdentical is the acceptance check behind
+// cmd/podcload: every battery response from the real handler must
+// canonicalize to exactly the bytes the library computes, under concurrent
+// replay.  The oracle session is separate from the server's, so agreement
+// is a genuine differential result, not cache sharing.
+func TestLoadBatteryVerdictsAreByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	oracle := podc.NewSession(podc.WithWorkers(2))
+	battery, err := loadgen.Battery(ctx, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	server := podc.NewSession(podc.WithWorkers(2))
+	ts := httptest.NewServer(newHandler(server, serverConfig{Timeout: time.Minute}))
+	t.Cleanup(ts.Close)
+
+	res, err := loadgen.Run(ctx, battery, loadgen.Options{
+		BaseURL:     ts.URL,
+		Client:      ts.Client(),
+		Concurrency: 4,
+		Requests:    3 * len(battery),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors; first: %s", res.Errors, res.FirstError)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d verdict mismatches; first: %s\n got: %s\nwant: %s",
+			res.Mismatches, res.FirstMismatch.Name, res.FirstMismatch.Got, res.FirstMismatch.Want)
+	}
+}

@@ -13,27 +13,38 @@
 //	POST /v1/correspond        decide the indexed ring correspondence M_small ~ M_large
 //	POST /v1/transfer          build the JSON transfer certificate for (small, large)
 //	GET  /v1/experiments/{id}  run (once) and return an experiment table, e.g. E6
+//	GET  /v1/sweep             stream a topology sweep as server-sent events
 //	GET  /v1/store             persistent verdict store counters (hits/misses/invalid/writes)
+//	GET  /metrics              Prometheus text exposition of every layer's counters
 //	GET  /healthz              liveness probe
 //
 // Usage:
 //
 //	podcserve -addr :8080 -workers 4
-//	podcserve -addr :8080 -pprof localhost:6060   # also serve net/http/pprof
+//	podcserve -addr :8080 -pprof localhost:6060      # also serve net/http/pprof
+//	podcserve -addr :8080 -metrics localhost:9090    # also serve /metrics on its own listener
 //
-// The -pprof flag (off by default) starts a second listener serving the
-// standard /debug/pprof/ handlers on its own mux, so production profiles can
-// be captured without exposing the profiler on the service address or
-// editing code.
+// Request bodies are capped (-max-body, 1 MiB default; overflow is 413),
+// and the computing endpoints sit behind admission control: at most
+// -max-inflight requests compute at once, at most -max-queue wait for a
+// slot for up to -queue-wait, and everything beyond that is shed with 429
+// and a Retry-After hint.  SIGINT/SIGTERM trigger a graceful shutdown:
+// the listener closes, in-flight requests get -drain to finish, and a
+// clean drain exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/pkg/podc"
@@ -43,7 +54,13 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool cap for correspondences and experiments (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request computation deadline (0 = none)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes (larger bodies are rejected with 413)")
+	maxInflight := flag.Int("max-inflight", 64, "admission control: computing requests allowed at once")
+	maxQueue := flag.Int("max-queue", 256, "admission control: requests allowed to wait for a slot")
+	queueWait := flag.Duration("queue-wait", 5*time.Second, "admission control: how long a queued request waits before 429")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown: how long in-flight requests get to finish")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "also serve /metrics on this address (empty = service address only)")
 	storeDir := flag.String("store", "", "persistent verdict store directory: correspondences, certificates and evidence survive restarts and are replayed (revalidated) instead of re-decided")
 	flag.Parse()
 
@@ -68,14 +85,79 @@ func main() {
 		opts = append(opts, podc.WithStore(*storeDir))
 	}
 	session := podc.NewSession(opts...)
+	svc := newServer(session, serverConfig{
+		Timeout:     *timeout,
+		MaxBody:     *maxBody,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		QueueWait:   *queueWait,
+	})
+
+	if *metricsAddr != "" {
+		// A scrape endpoint on its own listener, so operators can keep the
+		// service address private while exposing metrics to a collector.
+		//lint:goleak metrics listener is deliberately process-lifetime
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("GET /metrics", svc.metrics.registry.Handler())
+			log.Printf("podcserve: metrics listening on %s", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("podcserve: metrics server: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(session, *timeout),
+		Handler:           svc.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("podcserve: listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "podcserve:", err)
 		os.Exit(1)
 	}
+	log.Printf("podcserve: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serveUntilShutdown(ctx, srv, ln, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "podcserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("podcserve: drained, exiting")
+}
+
+// serveUntilShutdown serves on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then shuts down gracefully: the listener closes immediately
+// so no new work is admitted, and in-flight requests get the drain window
+// to finish.  A clean drain returns nil; an overrun force-closes the
+// remaining connections and returns the deadline error.
+func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	//lint:goleak Serve returns once the listener closes (Shutdown/Close) and the send on the buffered errc is reaped below
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		// Serve failed before any shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("podcserve: shutdown requested, draining for up to %s", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		<-errc
+		return fmt.Errorf("drain deadline exceeded after %s: %w", drain, err)
+	}
+	<-errc
+	return nil
 }

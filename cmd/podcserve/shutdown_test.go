@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// slowHandler blocks inside the handler until release is closed, so tests
+// can hold a request in flight across a shutdown.
+func slowHandler(entered chan<- struct{}, release <-chan struct{}) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "slow ok\n")
+	})
+}
+
+// TestGracefulShutdownDrainsInflight sends the process a real SIGTERM while
+// a request is in flight: serveUntilShutdown must stop accepting, let the
+// slow request finish inside the drain window, and return nil (the clean
+// exit-0 path of main).
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: slowHandler(entered, release)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serveUntilShutdown(ctx, srv, ln, 10*time.Second) }()
+
+	reqDone := make(chan error, 1)
+	var status int
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			status = resp.StatusCode
+			io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		reqDone <- err
+	}()
+	<-entered
+
+	// The request is inside the handler; deliver the production signal.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shutdown must wait for the in-flight request, not race past it.
+	select {
+	case err := <-serveDone:
+		t.Fatalf("serveUntilShutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("in-flight request status %d, want 200", status)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("clean drain must return nil, got %v", err)
+	}
+
+	// The listener is closed: new connections must be refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownDrainDeadlineExceeded holds a request past a tiny drain
+// window: serveUntilShutdown must force-close and return the deadline
+// error instead of hanging forever on a stuck handler.
+func TestShutdownDrainDeadlineExceeded(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: slowHandler(entered, release)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serveUntilShutdown(ctx, srv, ln, 50*time.Millisecond) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("drain overrun must return an error, got nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntilShutdown hung past the drain deadline")
+	}
+}

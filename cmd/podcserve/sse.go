@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/pkg/podc"
+)
+
+// maxSweepSizes bounds how many sizes one sweep request may ask for, so a
+// single GET cannot enqueue unbounded work on the shared session.
+const maxSweepSizes = 64
+
+// sweepEvent is the data payload of one "row" server-sent event: the
+// library's SweepResult plus its error rendered as a string (SweepResult
+// deliberately keeps Err out of its JSON form).
+type sweepEvent struct {
+	podc.SweepResult
+	Error string `json:"error,omitempty"`
+}
+
+// sweepDone is the data payload of the terminal "done" event.
+type sweepDone struct {
+	Rows int `json:"rows"`
+}
+
+// handleSweep streams GET /v1/sweep as server-sent events: one "row" event
+// per size the moment the runner decides it (completion order, exactly as
+// Session.SweepTopology yields them), then a "done" event with the row
+// count.  Closing the connection cancels the remaining sweep work through
+// the request context.
+//
+//	GET /v1/sweep?topology=ring&from=4&to=14
+//	GET /v1/sweep?topology=torus&sizes=4,6,8
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	topo, sizes, err := parseSweepQuery(r)
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, r, http.StatusInternalServerError, fmt.Errorf("connection does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	rows := 0
+	for row := range s.session.SweepTopology(r.Context(), topo, sizes) {
+		ev := sweepEvent{SweepResult: row}
+		if row.Err != nil {
+			ev.Error = row.Err.Error()
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			// Marshalling a plain struct cannot realistically fail; if it
+			// does, surface it in-band rather than silently dropping a row.
+			data = []byte(fmt.Sprintf(`{"r":%d,"error":%q}`, row.R, err.Error()))
+		}
+		if _, err := fmt.Fprintf(w, "event: row\ndata: %s\n\n", data); err != nil {
+			// Client gone: breaking out of the range cancels the runner.
+			return
+		}
+		fl.Flush()
+		rows++
+		if s.metrics != nil {
+			s.metrics.sweepRows.Inc()
+		}
+	}
+	done, _ := json.Marshal(sweepDone{Rows: rows})
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", done)
+	fl.Flush()
+}
+
+// parseSweepQuery resolves the topology and size list of a sweep request.
+// "sizes" (comma-separated) wins when given; otherwise "from".."to" form an
+// inclusive range defaulting to the topology's cutoff size and the last
+// default-sweep size respectively.  Sizes the topology cannot instantiate
+// are skipped, exactly as the library's sweeps skip them.
+func parseSweepQuery(r *http.Request) (podc.Topology, []int, error) {
+	q := r.URL.Query()
+	name := q.Get("topology")
+	if name == "" {
+		name = "ring"
+	}
+	topo, ok := podc.TopologyByName(name)
+	if !ok {
+		return podc.Topology{}, nil, fmt.Errorf("unknown topology %q (have %s)",
+			name, strings.Join(podc.TopologyNames(), ", "))
+	}
+
+	var candidates []int
+	if raw := q.Get("sizes"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return podc.Topology{}, nil, fmt.Errorf("sizes: %q is not an integer", f)
+			}
+			candidates = append(candidates, n)
+		}
+	} else {
+		from := topo.CutoffSize()
+		if v := q.Get("from"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return podc.Topology{}, nil, fmt.Errorf("from: %q is not an integer", v)
+			}
+			from = n
+		}
+		defaults := podc.DefaultSweepSizes()
+		to := defaults[len(defaults)-1]
+		if v := q.Get("to"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return podc.Topology{}, nil, fmt.Errorf("to: %q is not an integer", v)
+			}
+			to = n
+		}
+		if to < from {
+			return podc.Topology{}, nil, fmt.Errorf("need from <= to, got from=%d to=%d", from, to)
+		}
+		if to-from+1 > maxSweepSizes {
+			return podc.Topology{}, nil, fmt.Errorf("range spans %d sizes, limit is %d", to-from+1, maxSweepSizes)
+		}
+		for n := from; n <= to; n++ {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) > maxSweepSizes {
+		return podc.Topology{}, nil, fmt.Errorf("%d sizes requested, limit is %d", len(candidates), maxSweepSizes)
+	}
+
+	var sizes []int
+	for _, n := range candidates {
+		if topo.ValidSize(n) == nil {
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) == 0 {
+		return podc.Topology{}, nil, fmt.Errorf("no valid %s sizes among %v", topo.Name(), candidates)
+	}
+	return topo, sizes, nil
+}

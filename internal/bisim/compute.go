@@ -115,6 +115,26 @@ var computeCalls atomic.Int64
 // inside the same invocation).
 func ComputeCalls() int64 { return computeCalls.Load() }
 
+// seedAccepted / seedRejected count the audit outcomes of seeded
+// refinements process-wide (unseeded runs count under neither), and
+// refineBatches counts the splitter-queue batches the parallel drain has
+// executed.  Like computeCalls they exist so a serving process can expose
+// engine activity as monotone metrics without the engines importing the
+// metrics package.
+var seedAccepted, seedRejected, refineBatches atomic.Int64
+
+// SeedOutcomes returns the process-wide counts of seeded refinements whose
+// seed passed the quotient audit (accepted) and of seeds the audit threw
+// away, forcing a cold in-call recompute (rejected).
+func SeedOutcomes() (accepted, rejected int64) {
+	return seedAccepted.Load(), seedRejected.Load()
+}
+
+// RefineBatches returns the process-wide number of splitter-queue batches
+// drained by the parallel refinement engine (Options.Workers > 1); the
+// sequential drain never increments it.
+func RefineBatches() int64 { return refineBatches.Load() }
+
 // ComputeFixpoint runs the original nested-fixpoint decision procedure on
 // the label-equal candidate pair set.  It is retained as the cross-check
 // oracle for the partition-refinement engine and as the engine honouring

@@ -108,6 +108,7 @@ func (r *refiner) drainParallel(ctx context.Context) error {
 		if err := cancelled(ctx); err != nil {
 			return err
 		}
+		refineBatches.Add(1)
 		batch := len(r.queue)
 		if batch > drainBatchSize {
 			batch = drainBatchSize

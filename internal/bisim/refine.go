@@ -322,8 +322,10 @@ func computeRefined(ctx context.Context, m, m2 *kripke.Structure, opts Options) 
 		}
 		if ok {
 			res.SeedOutcome = SeedAccepted
+			seedAccepted.Add(1)
 		} else {
 			res.SeedOutcome = SeedRejected
+			seedRejected.Add(1)
 			r.resetPartition()
 			r.initPartition(compLabel, nil, ar)
 			if err := r.stabilize(ctx, res); err != nil {

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/pkg/podc"
+)
+
+func TestCanonicalizeDropsClocksAndSortsKeys(t *testing.T) {
+	a := []byte(`{"b": 1, "a": {"elapsed_ms": 42, "x": [{"elapsed_ms": 7, "y": 2}]}}`)
+	b := []byte(`{"a": {"x": [{"y": 2}]}, "b": 1, "elapsed_ms": 999}`)
+	ca, err := Canonicalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Canonicalize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top-level elapsed_ms differs between the two, so after stripping they
+	// still differ (b has no top-level elapsed, a keeps none either) — the
+	// only remaining difference is key order, which marshalling removes.
+	if string(ca) != string(cb) {
+		t.Errorf("canonical forms differ:\n%s\n%s", ca, cb)
+	}
+	if strings.Contains(string(ca), "elapsed_ms") {
+		t.Errorf("elapsed_ms survived canonicalization: %s", ca)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(samples, 50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := Percentile(samples, 99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %v, want 0", got)
+	}
+}
+
+func TestBatteryCoversTheMixedEndpoints(t *testing.T) {
+	session := podc.NewSession(podc.WithWorkers(2))
+	battery, err := Battery(context.Background(), session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]int{}
+	for _, item := range battery {
+		paths[item.Path]++
+		if len(item.Expect) == 0 {
+			t.Errorf("%s has no expectation", item.Name)
+		}
+		if item.Body != nil && !json.Valid(item.Body) {
+			t.Errorf("%s has invalid body: %s", item.Name, item.Body)
+		}
+	}
+	for _, p := range []string{"/v1/check", "/v1/correspond", "/v1/transfer", "/v1/experiments/E1"} {
+		if paths[p] == 0 {
+			t.Errorf("battery misses %s", p)
+		}
+	}
+}
+
+// TestRunCountsErrorsAndMismatches replays a tiny battery against a stub
+// server that answers one item correctly, one wrongly, and one with a 500.
+func TestRunCountsErrorsAndMismatches(t *testing.T) {
+	good, _ := Canonicalize([]byte(`{"v": 1}`))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/good", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"v": 1, "elapsed_ms": 5}`))
+	})
+	mux.HandleFunc("/wrong", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"v": 2}`))
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	battery := []Request{
+		{Name: "good", Method: http.MethodGet, Path: "/good", Expect: good},
+		{Name: "wrong", Method: http.MethodGet, Path: "/wrong", Expect: good},
+		{Name: "boom", Method: http.MethodGet, Path: "/boom", Expect: good},
+	}
+	res, err := Run(context.Background(), battery, Options{
+		BaseURL: ts.URL, Concurrency: 2, Requests: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 6 || res.Errors != 2 || res.Mismatches != 2 {
+		t.Fatalf("got %+v, want 6 requests, 2 errors, 2 mismatches", res)
+	}
+	if res.FirstError == "" || res.FirstMismatch == nil {
+		t.Fatalf("examples missing from %+v", res)
+	}
+	if res.ThroughputRPS <= 0 || res.P99ms < res.P50ms {
+		t.Errorf("implausible timing summary: %+v", res)
+	}
+}

@@ -1,0 +1,572 @@
+// Package obs is the repository's stdlib-only metrics layer: counters,
+// gauges and fixed-bucket histograms collected in a Registry and served in
+// the Prometheus text exposition format (version 0.0.4), so any scraper —
+// Prometheus itself, curl in the CI smoke job, the handler tests — can watch
+// queue depth, verdict latency and store hit-rate over time instead of
+// polling one-shot JSON counter dumps.
+//
+// The package deliberately implements only what the serving layer needs:
+//
+//   - Counter / CounterVec: monotonically increasing int64 values, with an
+//     optional fixed label set (endpoint, status class).
+//   - Gauge / GaugeVec: settable values that go both ways (in-flight
+//     requests, queue depth).
+//   - Histogram / HistogramVec: observations bucketed into fixed upper
+//     bounds with cumulative exposition (request latency).
+//   - CounterFunc / GaugeFunc: values sampled at scrape time from an
+//     existing source (store.Stats, Session cache counters, the engine's
+//     process-wide refinement counters), so instrumented packages keep their
+//     own atomic counters and obs never becomes a dependency of the engines.
+//
+// All write paths are lock-free atomics; vectors take one mutex only to
+// create a missing child.  Exposition is deterministic: families sort by
+// name, children by label values, so tests can assert on exact lines.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram upper bounds (seconds), matching the
+// Prometheus client defaults: they resolve latencies from 1ms to 10s, which
+// brackets everything the service does between a store replay (~µs–ms) and a
+// cold large-ring correspondence (~s).
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// metric is one registered family: it knows its metadata and how to write
+// its samples.
+type metric interface {
+	meta() (name, help, typ string)
+	expose(w io.Writer) error
+}
+
+// Registry holds a set of metric families and serves them as text.  The
+// zero value is not usable; call NewRegistry.  Registration methods panic on
+// duplicate or syntactically invalid names — both are programmer errors that
+// should fail at process start, not at scrape time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]metric)}
+}
+
+// register adds a family under its name, panicking on duplicates and
+// malformed names.
+func (r *Registry) register(name string, m metric) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.families[name] = m
+}
+
+// validName enforces the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders every family in the text exposition format, sorted by name.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, m := range ms {
+		name, help, typ := m.meta()
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ); err != nil {
+			return err
+		}
+		if err := m.expose(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The registry renders from atomics; an error here means the client
+		// went away mid-scrape, which the next scrape absorbs.
+		_ = r.Write(w)
+	})
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in the shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPairs renders {k1="v1",k2="v2"} (empty string for no labels).
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) meta() (string, string, string) { return c.name, c.help, "counter" }
+
+func (c *Counter) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+	return err
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) meta() (string, string, string) { return g.name, g.help, "gauge" }
+
+func (g *Gauge) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+	return err
+}
+
+// funcMetric samples its value at scrape time.  It backs CounterFunc and
+// GaugeFunc, which is how already-instrumented sources (store.Stats, the
+// session cache counters, bisim's process-wide engine counters) join the
+// registry without importing this package.
+type funcMetric struct {
+	name string
+	help string
+	typ  string
+	f    func() float64
+}
+
+// CounterFunc registers a counter whose value is sampled from f at scrape
+// time.  f must be monotone non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	r.register(name, &funcMetric{name: name, help: help, typ: "counter", f: func() float64 { return float64(f()) }})
+}
+
+// GaugeFunc registers a gauge whose value is sampled from f at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, &funcMetric{name: name, help: help, typ: "gauge", f: f})
+}
+
+func (m *funcMetric) meta() (string, string, string) { return m.name, m.help, m.typ }
+
+func (m *funcMetric) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.f()))
+	return err
+}
+
+// vec is the shared child management of the labelled families: one mutex
+// guards child creation, lookups after creation touch only the map read
+// under that mutex (creation is rare, increments are on the child's own
+// atomics).
+type vec[T any] struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]T
+	make     func() T
+}
+
+func newVec[T any](labels []string, mk func() T) *vec[T] {
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+	return &vec[T]{labels: labels, children: make(map[string]T), make: mk}
+}
+
+// childKey joins label values with a separator that cannot appear unescaped
+// in a value boundary ambiguity.
+func childKey(values []string) string { return strings.Join(values, "\xff") }
+
+func (v *vec[T]) with(values []string) (T, []string) {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: want %d label values for %v, got %d", len(v.labels), v.labels, len(values)))
+	}
+	key := childKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = v.make()
+		v.children[key] = c
+	}
+	return c, values
+}
+
+// sortedChildren returns (label values, child) pairs sorted by values.
+func (v *vec[T]) sortedChildren() ([][]string, []T) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([][]string, len(keys))
+	cs := make([]T, len(keys))
+	for i, k := range keys {
+		if k == "" && len(v.labels) == 0 {
+			vals[i] = nil
+		} else {
+			vals[i] = strings.Split(k, "\xff")
+		}
+		cs[i] = v.children[k]
+	}
+	return vals, cs
+}
+
+// CounterVec is a family of counters sharing a name and label set.
+type CounterVec struct {
+	name string
+	help string
+	*vec[*atomic.Int64]
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{name: name, help: help, vec: newVec(labels, func() *atomic.Int64 { return new(atomic.Int64) })}
+	r.register(name, cv)
+	return cv
+}
+
+// With returns the child counter for the given label values (created on
+// first use).  It panics when the number of values does not match the
+// family's label names — a programmer error.
+func (v *CounterVec) With(values ...string) *VecCounter {
+	c, _ := v.with(values)
+	return &VecCounter{v: c}
+}
+
+// VecCounter is one child of a CounterVec.
+type VecCounter struct{ v *atomic.Int64 }
+
+// Inc adds one.
+func (c *VecCounter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored.
+func (c *VecCounter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *VecCounter) Value() int64 { return c.v.Load() }
+
+func (v *CounterVec) meta() (string, string, string) { return v.name, v.help, "counter" }
+
+func (v *CounterVec) expose(w io.Writer) error {
+	vals, cs := v.sortedChildren()
+	for i, c := range cs {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", v.name, labelPairs(v.labels, vals[i]), c.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GaugeVec is a family of gauges sharing a name and label set.
+type GaugeVec struct {
+	name string
+	help string
+	*vec[*atomic.Int64]
+}
+
+// GaugeVec registers and returns a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{name: name, help: help, vec: newVec(labels, func() *atomic.Int64 { return new(atomic.Int64) })}
+	r.register(name, gv)
+	return gv
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *VecGauge {
+	c, _ := v.with(values)
+	return &VecGauge{v: c}
+}
+
+// VecGauge is one child of a GaugeVec.
+type VecGauge struct{ v *atomic.Int64 }
+
+// Inc adds one.
+func (g *VecGauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *VecGauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *VecGauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *VecGauge) Value() int64 { return g.v.Load() }
+
+func (v *GaugeVec) meta() (string, string, string) { return v.name, v.help, "gauge" }
+
+func (v *GaugeVec) expose(w io.Writer) error {
+	vals, cs := v.sortedChildren()
+	for i, c := range cs {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", v.name, labelPairs(v.labels, vals[i]), c.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histogramData is the shared observation state of a histogram child: one
+// atomic count per bucket (last slot is +Inf), a total count and a float sum
+// maintained by compare-and-swap on its bits.
+type histogramData struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogramData(bounds []float64) *histogramData {
+	return &histogramData{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *histogramData) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+func (h *histogramData) sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// expose writes the cumulative bucket series plus _sum and _count.
+func (h *histogramData) expose(w io.Writer, name string, labelNames, labelValues []string) error {
+	bucketNames := append(append([]string(nil), labelNames...), "le")
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		vals := append(append([]string(nil), labelValues...), formatFloat(b))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelPairs(bucketNames, vals), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	vals := append(append([]string(nil), labelValues...), "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelPairs(bucketNames, vals), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelPairs(labelNames, labelValues), formatFloat(h.sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelPairs(labelNames, labelValues), cum)
+	return err
+}
+
+// checkBuckets validates and copies histogram bounds: strictly increasing,
+// at least one, no +Inf (the overflow bucket is implicit).
+func checkBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	out := append([]float64(nil), buckets...)
+	for i, b := range out {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("obs: histogram bounds must be finite (the +Inf bucket is implicit)")
+		}
+		if i > 0 && out[i-1] >= b {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return out
+}
+
+// Histogram buckets observations into fixed upper bounds.
+type Histogram struct {
+	name string
+	help string
+	*histogramData
+}
+
+// Histogram registers and returns a histogram with the given upper bounds
+// (DefBuckets when none are passed).
+func (r *Registry) Histogram(name, help string, buckets ...float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	h := &Histogram{name: name, help: help, histogramData: newHistogramData(checkBuckets(buckets))}
+	r.register(name, h)
+	return h
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum() }
+
+func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
+
+func (h *Histogram) expose(w io.Writer) error {
+	return h.histogramData.expose(w, h.name, nil, nil)
+}
+
+// HistogramVec is a family of histograms sharing a name, bounds and label
+// set.
+type HistogramVec struct {
+	name string
+	help string
+	*vec[*histogramData]
+}
+
+// HistogramVec registers and returns a labelled histogram family with the
+// given upper bounds (DefBuckets when buckets is nil).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := checkBuckets(buckets)
+	hv := &HistogramVec{name: name, help: help, vec: newVec(labels, func() *histogramData { return newHistogramData(bounds) })}
+	r.register(name, hv)
+	return hv
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *VecHistogram {
+	c, _ := v.with(values)
+	return &VecHistogram{h: c}
+}
+
+// VecHistogram is one child of a HistogramVec.
+type VecHistogram struct{ h *histogramData }
+
+// Observe records one value.
+func (h *VecHistogram) Observe(v float64) { h.h.Observe(v) }
+
+// Count returns the child's total number of observations.
+func (h *VecHistogram) Count() int64 { return h.h.count.Load() }
+
+func (v *HistogramVec) meta() (string, string, string) { return v.name, v.help, "histogram" }
+
+func (v *HistogramVec) expose(w io.Writer) error {
+	vals, cs := v.sortedChildren()
+	for i, c := range cs {
+		if err := c.expose(w, v.name, v.labels, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	g := r.Gauge("inflight", "in-flight requests")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	g.Set(7)
+	g.Dec()
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP requests_total total requests\n# TYPE requests_total counter\nrequests_total 3\n",
+		"# HELP inflight in-flight requests\n# TYPE inflight gauge\ninflight 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 || g.Value() != 6 {
+		t.Errorf("Value() = %d, %d; want 3, 6", c.Value(), g.Value())
+	}
+}
+
+func TestFamiliesSortByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "z")
+	r.Counter("aaa_total", "a")
+	out := expose(t, r)
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests by endpoint and class", "endpoint", "code")
+	v.With("/v1/check", "2xx").Add(3)
+	v.With("/v1/check", "4xx").Inc()
+	v.With("/v1/sweep", "2xx").Inc()
+	out := expose(t, r)
+	wants := []string{
+		`http_requests_total{endpoint="/v1/check",code="2xx"} 3`,
+		`http_requests_total{endpoint="/v1/check",code="4xx"} 1`,
+		`http_requests_total{endpoint="/v1/sweep",code="2xx"} 1`,
+	}
+	last := -1
+	for _, w := range wants {
+		i := strings.Index(out, w)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", w, out)
+		}
+		if i < last {
+			t.Errorf("series out of sorted order: %q\n%s", w, out)
+		}
+		last = i
+	}
+	if got := v.With("/v1/check", "2xx").Value(); got != 3 {
+		t.Errorf("child value = %d, want 3", got)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("inflight", "in-flight by endpoint", "endpoint")
+	v.With("/v1/check").Inc()
+	v.With("/v1/check").Inc()
+	v.With("/v1/check").Dec()
+	out := expose(t, r)
+	if !strings.Contains(out, `inflight{endpoint="/v1/check"} 1`) {
+		t.Errorf("gauge vec exposition wrong:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := expose(t, r)
+	wants := []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 56.05`,
+		`latency_seconds_count 5`,
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("exposition missing %q:\n%s", w, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramBoundaryLandsInBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "boundary", 1, 2)
+	h.Observe(1) // le="1" is inclusive
+	out := expose(t, r)
+	if !strings.Contains(out, `h_bucket{le="1"} 1`) {
+		t.Errorf("observation equal to a bound must land in that bucket:\n%s", out)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("req_seconds", "latency by endpoint", []float64{0.1, 1}, "endpoint")
+	v.With("/v1/check").Observe(0.05)
+	v.With("/v1/check").Observe(0.5)
+	out := expose(t, r)
+	wants := []string{
+		`req_seconds_bucket{endpoint="/v1/check",le="0.1"} 1`,
+		`req_seconds_bucket{endpoint="/v1/check",le="+Inf"} 2`,
+		`req_seconds_count{endpoint="/v1/check"} 2`,
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("exposition missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestFuncMetricsSampleAtScrape(t *testing.T) {
+	r := NewRegistry()
+	var n int64
+	r.CounterFunc("sampled_total", "sampled", func() int64 { return n })
+	r.GaugeFunc("sampled_gauge", "sampled gauge", func() float64 { return float64(n) / 2 })
+	n = 8
+	out := expose(t, r)
+	if !strings.Contains(out, "sampled_total 8\n") {
+		t.Errorf("CounterFunc did not sample at scrape:\n%s", out)
+	}
+	if !strings.Contains(out, "sampled_gauge 4\n") {
+		t.Errorf("GaugeFunc did not sample at scrape:\n%s", out)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("handler body:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "escaping", "path")
+	v.With("a\"b\\c\nd").Inc()
+	out := expose(t, r)
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	mustPanic("duplicate name", func() { r.Gauge("dup_total", "second") })
+	mustPanic("invalid name", func() { r.Counter("bad-name", "hyphen") })
+	mustPanic("invalid label", func() { r.CounterVec("ok_total", "x", "bad-label") })
+	mustPanic("wrong arity", func() { r.CounterVec("arity_total", "x", "a", "b").With("only-one") })
+	mustPanic("empty buckets ok but invalid order", func() { r.Histogram("h1", "x", 2, 1) })
+	mustPanic("infinite bound", func() { r.Histogram("h2", "x", 1, 2, math.Inf(1)) })
+}
+
+// TestConcurrentWrites hammers every instrument kind from many goroutines;
+// run under -race this is the package's data-race gate, and the final counts
+// must be exact (atomics lose nothing).
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	v := r.CounterVec("v_total", "v", "k")
+	h := r.Histogram("h_seconds", "h", 0.5)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				v.With("x").Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if c.Value() != want || g.Value() != want || v.With("x").Value() != want || h.Count() != want {
+		t.Errorf("lost updates: counter=%d gauge=%d vec=%d hist=%d, want %d",
+			c.Value(), g.Value(), v.With("x").Value(), h.Count(), want)
+	}
+	if got := h.Sum(); got != 0.25*want {
+		t.Errorf("histogram sum = %v, want %v", got, 0.25*want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -39,6 +40,11 @@ type Session struct {
 	// store.  See store.go.
 	storeOnce sync.Once
 	store     *store.Store
+
+	// cacheHits / cacheMisses / cacheJoins instrument the flight maps
+	// below: a hit found a completed computation, a miss started one, and a
+	// join attached to one still in flight (the in-flight dedup working).
+	cacheHits, cacheMisses, cacheJoins atomic.Int64
 
 	mu         sync.Mutex
 	rings      map[int]*flight[*Ring]
@@ -115,6 +121,7 @@ func getOrCompute[K comparable, T any](ctx context.Context, s *Session, m map[K]
 			f = &flight[T]{done: make(chan struct{})}
 			m[key] = f
 			s.mu.Unlock()
+			s.cacheMisses.Add(1)
 			f.val, f.err = compute()
 			if f.err != nil {
 				s.mu.Lock()
@@ -127,6 +134,12 @@ func getOrCompute[K comparable, T any](ctx context.Context, s *Session, m map[K]
 			return f.val, f.err
 		}
 		s.mu.Unlock()
+		select {
+		case <-f.done:
+			s.cacheHits.Add(1)
+		default:
+			s.cacheJoins.Add(1)
+		}
 		select {
 		case <-f.done:
 			if f.err != nil && ctx.Err() == nil &&
@@ -648,6 +661,27 @@ func (s *Session) Experiments(ctx context.Context, ids []string) iter.Seq[Experi
 				return
 			}
 		}
+	}
+}
+
+// CacheStats is a snapshot of a Session's in-memory cache counters, one
+// event per flight-map lookup: a Hit found a completed computation, a Miss
+// started a fresh one, and a Join attached to an identical computation that
+// was still in flight (the in-flight dedup saving a duplicate run).  A
+// waiter that retries after the computing caller's context died counts its
+// retry as a fresh lookup.
+type CacheStats struct {
+	Hits, Misses, Joins int64
+}
+
+// CacheStats reports the session's cache counters across every cached
+// artefact kind (rings, verifiers, instances, correspondences, certificates,
+// experiment tables).
+func (s *Session) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:   s.cacheHits.Load(),
+		Misses: s.cacheMisses.Load(),
+		Joins:  s.cacheJoins.Load(),
 	}
 }
 
